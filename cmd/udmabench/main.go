@@ -1,0 +1,131 @@
+// Command udmabench regenerates every table and figure of the paper's
+// evaluation (and the quantitative claims of its other sections) on the
+// simulated SHRIMP machine, printing the same rows and series the paper
+// reports plus pass/fail shape checks.
+//
+// Usage:
+//
+//	udmabench              # run every experiment
+//	udmabench -exp e1      # run one experiment (e1..e10)
+//	udmabench -list        # list experiments
+//	udmabench -csv dir     # also write series/tables as CSV files
+//	udmabench -plot        # draw ASCII plots for series (Figure 8 etc.)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"shrimp/internal/experiments"
+)
+
+func main() {
+	var (
+		exp  = flag.String("exp", "", "run a single experiment id (e1..e10)")
+		list = flag.Bool("list", false, "list experiments and exit")
+		csv  = flag.String("csv", "", "directory to write CSV output into")
+		plot = flag.Bool("plot", false, "render ASCII plots for series")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			title, _ := experiments.Title(id)
+			fmt.Printf("%-4s %s\n", id, title)
+		}
+		return
+	}
+
+	ids := experiments.IDs()
+	if *exp != "" {
+		ids = []string{*exp}
+	}
+
+	failed := 0
+	for _, id := range ids {
+		res, err := experiments.Run(id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "udmabench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		printResult(res, *plot)
+		if *csv != "" {
+			if err := writeCSV(*csv, res); err != nil {
+				fmt.Fprintf(os.Stderr, "udmabench: csv: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if !res.Passed() {
+			failed++
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "udmabench: %d experiment(s) failed their shape checks\n", failed)
+		os.Exit(1)
+	}
+}
+
+func printResult(res *experiments.Result, plot bool) {
+	rule := strings.Repeat("=", 72)
+	fmt.Println(rule)
+	fmt.Printf("%s — %s\n", strings.ToUpper(res.ID), res.Title)
+	fmt.Printf("paper: %s\n", res.Paper)
+	fmt.Println(rule)
+	for _, t := range res.Tables {
+		fmt.Println()
+		t.Render(os.Stdout)
+	}
+	if plot {
+		for _, s := range res.Series {
+			fmt.Println()
+			s.PlotASCII(os.Stdout, 64, 16)
+		}
+	}
+	fmt.Println()
+	for _, c := range res.Checks {
+		mark := "PASS"
+		if !c.Pass {
+			mark = "FAIL"
+		}
+		fmt.Printf("  [%s] %s — %s\n", mark, c.Name, c.Detail)
+	}
+	for _, n := range res.Notes {
+		fmt.Printf("  note: %s\n", n)
+	}
+	fmt.Println()
+}
+
+func writeCSV(dir string, res *experiments.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, s := range res.Series {
+		path := filepath.Join(dir, fmt.Sprintf("%s_series%d.csv", res.ID, i))
+		if err := writeFile(path, s.WriteCSV); err != nil {
+			return err
+		}
+	}
+	for i, t := range res.Tables {
+		path := filepath.Join(dir, fmt.Sprintf("%s_table%d.csv", res.ID, i))
+		if err := writeFile(path, t.WriteCSV); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeFile(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,127 @@
+// Diskio: UDMA device→memory transfers from a block device — the
+// paper's "data storage devices such as disks and tape drives" example,
+// and the direction that exercises the I3 content-consistency
+// invariant: naming user memory as a DMA *destination* requires write
+// permission on the memory-proxy page, which in turn marks the real
+// page dirty so the newly-arrived data survives paging.
+//
+// The program reads a scattered set of blocks into user memory with
+// UDMA while a background process applies paging pressure, then proves
+// every byte survived eviction and page-in.
+//
+// Run with: go run ./examples/diskio
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"shrimp/internal/addr"
+	"shrimp/internal/device"
+	"shrimp/internal/kernel"
+	"shrimp/internal/machine"
+	"shrimp/internal/sim"
+	"shrimp/internal/udmalib"
+	"shrimp/internal/workload"
+)
+
+const (
+	diskBlocks = 256
+	reads      = 24
+	blockBytes = addr.PageSize
+)
+
+func main() {
+	node := machine.New(0, machine.Config{RAMFrames: 48}) // tight memory
+	disk := device.NewDisk("sd0", diskBlocks, 20, 2000)   // seek + rotation model
+	node.AttachDevice(disk, 0)
+	defer node.Kernel.Shutdown()
+
+	// Preload the disk with recognizable block contents.
+	for b := uint32(0); b < diskBlocks; b++ {
+		if err := disk.Preload(b, workload.Payload(blockBytes, byte(b))); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	var readErr error
+	var report []string
+	node.Kernel.Spawn("reader", func(p *kernel.Proc) {
+		readErr = reader(p, disk, &report)
+	})
+	node.Kernel.Spawn("pager", workload.Pager(56, 80_000_000))
+
+	if err := node.Kernel.Run(sim.Forever); err != nil {
+		log.Fatal(err)
+	}
+	if readErr != nil {
+		log.Fatal(readErr)
+	}
+	for _, line := range report {
+		fmt.Println(line)
+	}
+	ks := node.Kernel.Stats()
+	r, w, seeks := disk.Stats()
+	fmt.Printf("\ndisk: %d reads, %d writes, %d blocks of head travel\n", r, w, seeks)
+	fmt.Printf("vm: %d evictions, %d page-ins, %d I3 write-upgrades, %d pins\n",
+		ks.Evictions, ks.PageIns, ks.ProxyUpgrades, ks.Pins)
+	fmt.Println("every UDMA destination page was dirtied through the proxy write fault (I3), so no arriving block was lost to paging")
+}
+
+func reader(p *kernel.Proc, disk *device.Disk, report *[]string) error {
+	d, err := udmalib.Open(p, disk, true)
+	if err != nil {
+		return err
+	}
+	buf, err := p.Alloc(reads * blockBytes)
+	if err != nil {
+		return err
+	}
+
+	// Read a scattered block list (worst case for the seek model).
+	rng := sim.NewRNG(7)
+	blockOf := make([]uint32, reads)
+	start := p.Now()
+	for i := 0; i < reads; i++ {
+		blockOf[i] = rng.Uint32n(diskBlocks)
+		dst := buf + addr.VAddr(i*blockBytes)
+		if err := d.Recv(dst, udmalib.WindowOff(blockOf[i], 0), blockBytes); err != nil {
+			return fmt.Errorf("read of block %d: %w", blockOf[i], err)
+		}
+	}
+	elapsed := p.Now() - start
+	*report = append(*report, fmt.Sprintf(
+		"read %d scattered blocks (%d KB) via UDMA in %.0f µs (%.1f MB/s), zero system calls per read",
+		reads, reads*blockBytes/1024, p.Micros(elapsed),
+		float64(reads*blockBytes)/p.Micros(elapsed)))
+
+	// Touch lots of memory so some of the read buffer is evicted, then
+	// verify every block — the data must round-trip through swap.
+	hog, err := p.Alloc(24 * addr.PageSize)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 24; i++ {
+		if err := p.Store(hog+addr.VAddr(i*addr.PageSize), uint32(i)); err != nil {
+			return err
+		}
+	}
+
+	bad := 0
+	for i := 0; i < reads; i++ {
+		got, err := p.ReadBuf(buf+addr.VAddr(i*blockBytes), blockBytes)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(got, workload.Payload(blockBytes, byte(blockOf[i]))) {
+			bad++
+		}
+	}
+	*report = append(*report, fmt.Sprintf(
+		"verified %d blocks after paging pressure: %d corrupted", reads, bad))
+	if bad > 0 {
+		return fmt.Errorf("%d blocks corrupted — I3 failed", bad)
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+// Framebuffer: UDMA to a memory-mapped graphics device — the paper's
+// first example of UDMA's generality beyond network interfaces ("if the
+// device is a graphics frame-buffer, a device address might specify a
+// pixel").
+//
+// The program renders animation frames in user memory and blits dirty
+// tiles to a 640×480 frame buffer, once through the traditional kernel
+// DMA path and once through UDMA, comparing the cost of getting each
+// frame on screen. Fine-grained tile updates are exactly the workload
+// the paper says traditional DMA overhead ruins.
+//
+// Run with: go run ./examples/framebuffer
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"shrimp/internal/addr"
+	"shrimp/internal/core"
+	"shrimp/internal/device"
+	"shrimp/internal/kernel"
+	"shrimp/internal/machine"
+	"shrimp/internal/sim"
+	"shrimp/internal/udmalib"
+)
+
+const (
+	width   = 640
+	height  = 480
+	tileDim = 32 // 32×32-pixel tiles
+	tiles   = 16 // dirty tiles per frame
+	frames  = 8
+	tileRow = tileDim * 4 // bytes per tile row
+)
+
+func main() {
+	udmaUS, err := render(true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	kernelUS, err := render(false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%d frames × %d dirty tiles of %d×%d pixels:\n", frames, tiles, tileDim, tileDim)
+	fmt.Printf("  UDMA blits:        %8.0f µs (%.1f µs/tile)\n",
+		udmaUS, udmaUS/float64(frames*tiles))
+	fmt.Printf("  kernel DMA blits:  %8.0f µs (%.1f µs/tile)\n",
+		kernelUS, kernelUS/float64(frames*tiles))
+	fmt.Printf("  speedup:           %8.1fx\n", kernelUS/udmaUS)
+	fmt.Println("\nfine-grained device transfers are exactly where kernel-initiated DMA drowns in overhead")
+}
+
+func render(udma bool) (float64, error) {
+	// The UDMA controller gets the Section 7 request queue, so a whole
+	// tile (32 non-contiguous rows) goes out as one gather transfer.
+	node := machine.New(0, machine.Config{
+		RAMFrames: 512,
+		UDMA:      core.Config{QueueDepth: 16},
+	})
+	fb := device.NewFrameBuffer("fb0", width, height, 0)
+	node.AttachDevice(fb, 0)
+	defer node.Kernel.Shutdown()
+
+	var elapsed sim.Cycles
+	var runErr error
+	node.Kernel.Spawn("renderer", func(p *kernel.Proc) {
+		var d *udmalib.Dev
+		var err error
+		if udma {
+			d, err = udmalib.Open(p, fb, true)
+		} else {
+			_, err = p.MapDevice(fb, true)
+		}
+		if err != nil {
+			runErr = err
+			return
+		}
+
+		// Back buffer: one tile row's worth of pixels per blit. A tile
+		// is 32 rows; each row is a contiguous run in the frame buffer.
+		tile, err := p.Alloc(tileDim * tileDim * 4)
+		if err != nil {
+			runErr = err
+			return
+		}
+
+		rng := sim.NewRNG(99)
+		start := p.Now()
+		for f := 0; f < frames; f++ {
+			for t := 0; t < tiles; t++ {
+				// "Render": fill the tile with a frame-dependent color.
+				px := make([]byte, tileDim*tileDim*4)
+				for i := 0; i < len(px); i += 4 {
+					px[i] = byte(f * 16)
+					px[i+1] = byte(t * 8)
+					px[i+2] = 0x80
+					px[i+3] = 0xFF
+				}
+				if err := p.WriteBuf(tile, px); err != nil {
+					runErr = err
+					return
+				}
+				// Blit: each tile row is a contiguous device range; the
+				// tile as a whole is a gather-scatter transfer.
+				tx := int(rng.Uint32n(width/tileDim)) * tileDim
+				ty := int(rng.Uint32n(height/tileDim)) * tileDim
+				if udma {
+					segs := make([]udmalib.Segment, tileDim)
+					for row := 0; row < tileDim; row++ {
+						segs[row] = udmalib.Segment{
+							VA:     tile + addr.VAddr(row*tileRow),
+							DevOff: fb.PixelOff(tx, ty+row),
+							N:      tileRow,
+						}
+					}
+					err = d.SendGather(segs)
+				} else {
+					for row := 0; row < tileDim; row++ {
+						off := fb.PixelOff(tx, ty+row)
+						srcRow := tile + addr.VAddr(row*tileRow)
+						err = p.DMAWrite(srcRow, addr.DevProxy(off>>addr.PageShift, off&addr.OffsetMask),
+							tileRow, kernel.DMAOptions{})
+						if err != nil {
+							break
+						}
+					}
+				}
+				if err != nil {
+					runErr = err
+					return
+				}
+			}
+		}
+		elapsed = p.Now() - start
+
+		// Verify the last tile actually landed.
+		if got := fb.Pixel(0, 0); got == 0 {
+			// Pixel (0,0) may legitimately be untouched; just ensure
+			// the device saw traffic.
+			w, _ := fb.Stats()
+			if w == 0 {
+				runErr = fmt.Errorf("no blits reached the frame buffer")
+			}
+		}
+	})
+	if err := node.Kernel.Run(sim.Forever); err != nil {
+		return 0, err
+	}
+	if runErr != nil {
+		return 0, runErr
+	}
+	return node.Micros(elapsed), nil
+}

@@ -1,0 +1,204 @@
+// Messaging: user-level message passing on a four-node SHRIMP
+// multicomputer — the workload the paper's introduction motivates.
+//
+// Each node exports a receive buffer (one slot per peer), the mapping
+// master installs everyone's NIPT windows, and then every node sends a
+// message to every other node with plain UDMA deliberate updates. The
+// receivers poll their own memory: arrival needs no receiver CPU, no
+// interrupt, and no kernel on either side.
+//
+// Run with: go run ./examples/messaging
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"shrimp/internal/addr"
+	"shrimp/internal/cluster"
+	"shrimp/internal/kernel"
+	"shrimp/internal/machine"
+	"shrimp/internal/nic"
+	"shrimp/internal/udmalib"
+	"shrimp/internal/workload"
+)
+
+const (
+	nodes    = 4
+	msgBytes = 8192 // two pages: exercises the page-split path
+)
+
+func main() {
+	c := cluster.New(cluster.Config{
+		Nodes:   nodes,
+		Machine: machine.Config{RAMFrames: 128},
+		NIC:     nic.Config{NIPTPages: 64},
+	})
+	defer c.Shutdown()
+
+	exports := make(chan export, nodes)
+	errs := make([]error, nodes)
+	received := make([][]string, nodes)
+
+	for i := 0; i < nodes; i++ {
+		i := i
+		c.Nodes[i].Kernel.Spawn(fmt.Sprintf("peer%d", i), func(p *kernel.Proc) {
+			errs[i] = peer(c, p, i, exports, &received[i])
+		})
+	}
+	if err := c.Run(5_000_000_000); err != nil {
+		log.Fatal(err)
+	}
+	for i, err := range errs {
+		if err != nil {
+			log.Fatalf("node %d: %v", i, err)
+		}
+	}
+	for i := 0; i < nodes; i++ {
+		fmt.Printf("node %d received:\n", i)
+		for _, m := range received[i] {
+			fmt.Printf("  %s\n", m)
+		}
+	}
+	var sent uint64
+	for _, n := range c.NICs {
+		sent += n.Stats().BytesSent
+	}
+	fmt.Printf("\ntotal: %d bytes moved in %d packets, zero kernel involvement per message\n",
+		sent, totalPackets(c))
+}
+
+// export carries one node's pinned receive frames to the mapping
+// master (an out-of-band control plane, like SHRIMP's mapping daemon).
+type export struct {
+	node int
+	pfns []uint32
+}
+
+func peer(c *cluster.Cluster, p *kernel.Proc, me int,
+	exports chan export, out *[]string) error {
+
+	pagesPerSlot := msgBytes / addr.PageSize
+
+	// Export: one msgBytes slot per peer, pinned for incoming updates.
+	recvVA, err := p.Alloc(nodes * msgBytes)
+	if err != nil {
+		return err
+	}
+	pfns, err := udmalib.ExportBuffer(c.Nodes[me].Kernel, p, recvVA, nodes*pagesPerSlot)
+	if err != nil {
+		return err
+	}
+	exports <- export{me, pfns}
+
+	// Node 0 collects every export and installs every sender's NIPT:
+	// sender s's window entries for destination d start at entry
+	// d*pagesPerSlot and point at slot s on node d.
+	if me == 0 {
+		all := make([][]uint32, nodes)
+		for got := 0; got < nodes; got++ {
+			e := waitChan(p, exports)
+			all[e.node] = e.pfns
+		}
+		for s := 0; s < nodes; s++ {
+			for d := 0; d < nodes; d++ {
+				if s == d {
+					continue
+				}
+				for pg := 0; pg < pagesPerSlot; pg++ {
+					err := c.NICs[s].SetNIPT(uint32(d*pagesPerSlot+pg), nic.NIPTEntry{
+						Valid:    true,
+						DestNode: d,
+						DestPFN:  all[d][s*pagesPerSlot+pg],
+					})
+					if err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+
+	// Send a page-spanning message to every peer (retrying until the
+	// master has installed our window).
+	dev, err := udmalib.Open(p, c.NICs[me], true)
+	if err != nil {
+		return err
+	}
+	srcVA, err := p.Alloc(msgBytes)
+	if err != nil {
+		return err
+	}
+	if err := p.WriteBuf(srcVA, workload.Payload(msgBytes, byte(0x10*me+1))); err != nil {
+		return err
+	}
+	for d := 0; d < nodes; d++ {
+		if d == me {
+			continue
+		}
+		for {
+			err := dev.Send(srcVA, udmalib.WindowOff(uint32(d*pagesPerSlot), 0), msgBytes)
+			if err == nil {
+				break
+			}
+			if _, hard := err.(*udmalib.HardError); hard {
+				p.Sleep(10_000) // window not mapped yet
+				continue
+			}
+			return err
+		}
+	}
+
+	// Receive: poll each slot's last word, verify the payload.
+	for s := 0; s < nodes; s++ {
+		if s == me {
+			continue
+		}
+		slot := recvVA + addr.VAddr(s*msgBytes)
+		for {
+			v, err := p.Load(slot + msgBytes - 4)
+			if err != nil {
+				return err
+			}
+			if v != 0 {
+				break
+			}
+			p.Compute(500)
+		}
+		data, err := p.ReadBuf(slot, msgBytes)
+		if err != nil {
+			return err
+		}
+		want := workload.Payload(msgBytes, byte(0x10*s+1))
+		ok := true
+		for j := range want {
+			if data[j] != want[j] {
+				ok = false
+				break
+			}
+		}
+		*out = append(*out, fmt.Sprintf(
+			"%d bytes from node %d at t=%.0f µs (intact: %v)",
+			msgBytes, s, p.Micros(p.Now()), ok))
+	}
+	return nil
+}
+
+func waitChan[T any](p *kernel.Proc, ch chan T) T {
+	for {
+		select {
+		case v := <-ch:
+			return v
+		default:
+			p.Sleep(5_000)
+		}
+	}
+}
+
+func totalPackets(c *cluster.Cluster) uint64 {
+	var n uint64
+	for _, iface := range c.NICs {
+		n += iface.Stats().PacketsSent
+	}
+	return n
+}

@@ -1,0 +1,159 @@
+// Pingpong: round-trip latency between two SHRIMP nodes, the classic
+// microbenchmark for user-level communication systems. Each side
+// exports one page; ping writes a sequence number into pong's page with
+// a deliberate update, pong polls its own memory, sees it, and answers
+// into ping's page — no kernel, no interrupts, no receiver-side DMA
+// setup anywhere on the critical path.
+//
+// Run with: go run ./examples/pingpong
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"shrimp/internal/addr"
+	"shrimp/internal/cluster"
+	"shrimp/internal/kernel"
+	"shrimp/internal/machine"
+	"shrimp/internal/nic"
+	"shrimp/internal/udmalib"
+)
+
+const rounds = 32
+
+func main() {
+	c := cluster.New(cluster.Config{
+		Nodes:   2,
+		Machine: machine.Config{RAMFrames: 64},
+		NIC:     nic.Config{NIPTPages: 8},
+		// Tight lockstep window: the two sides genuinely take turns,
+		// so cross-node causality slack should be small against the
+		// measured round-trip.
+		Window: 200,
+	})
+	defer c.Shutdown()
+
+	exports := make(chan export, 2)
+	var rttUS float64
+	var pingErr, pongErr error
+
+	c.Nodes[0].Kernel.Spawn("ping", func(p *kernel.Proc) {
+		rttUS, pingErr = ping(c, p, exports)
+	})
+	c.Nodes[1].Kernel.Spawn("pong", func(p *kernel.Proc) {
+		pongErr = pong(c, p, exports)
+	})
+	if err := c.Run(10_000_000_000); err != nil {
+		log.Fatal(err)
+	}
+	if pingErr != nil {
+		log.Fatalf("ping: %v", pingErr)
+	}
+	if pongErr != nil {
+		log.Fatalf("pong: %v", pongErr)
+	}
+	fmt.Printf("%d word-message round trips: average RTT %.1f µs (%.1f µs one-way)\n",
+		rounds, rttUS, rttUS/2)
+	fmt.Println("critical path per direction: 2-instruction initiation + EISA burst + backplane flight + receive DMA + poll detection")
+}
+
+type export struct {
+	node int
+	pfn  uint32
+}
+
+// setup allocates and exports one page, then installs the peer's frame
+// in NIPT entry 0 once the peer has exported too.
+func setup(c *cluster.Cluster, p *kernel.Proc, me int, exports chan export) (mine addr.VAddr, dev *udmalib.Dev, err error) {
+	va, err := p.Alloc(addr.PageSize)
+	if err != nil {
+		return 0, nil, err
+	}
+	pfns, err := udmalib.ExportBuffer(c.Nodes[me].Kernel, p, va, 1)
+	if err != nil {
+		return 0, nil, err
+	}
+	exports <- export{me, pfns[0]}
+	// Wait for the peer's export (poll with simulated sleeps; never
+	// block the coroutine on a bare channel).
+	var peer export
+	for got := false; !got; {
+		select {
+		case e := <-exports:
+			if e.node == me {
+				exports <- e // not ours; put it back
+				p.Sleep(1_000)
+			} else {
+				peer = e
+				got = true
+			}
+		default:
+			p.Sleep(1_000)
+		}
+	}
+	if err := udmalib.MapSendWindow(c.NICs[me], 0, peer.node, []uint32{peer.pfn}); err != nil {
+		return 0, nil, err
+	}
+	dev, err = udmalib.Open(p, c.NICs[me], true)
+	return va, dev, err
+}
+
+func ping(c *cluster.Cluster, p *kernel.Proc, exports chan export) (float64, error) {
+	mine, dev, err := setup(c, p, 0, exports)
+	if err != nil {
+		return 0, err
+	}
+	src, _ := p.Alloc(addr.PageSize)
+
+	start := p.Now()
+	for seq := uint32(1); seq <= rounds; seq++ {
+		if err := p.Store(src, seq); err != nil {
+			return 0, err
+		}
+		if err := dev.SendAsync(src, 0, 4); err != nil {
+			return 0, err
+		}
+		// Wait for pong's reply carrying the same sequence number.
+		for {
+			v, err := p.Load(mine)
+			if err != nil {
+				return 0, err
+			}
+			if v == seq {
+				break
+			}
+			p.Compute(50)
+		}
+	}
+	total := p.Now() - start
+	return p.Micros(total) / rounds, nil
+}
+
+func pong(c *cluster.Cluster, p *kernel.Proc, exports chan export) error {
+	mine, dev, err := setup(c, p, 1, exports)
+	if err != nil {
+		return err
+	}
+	src, _ := p.Alloc(addr.PageSize)
+
+	for seq := uint32(1); seq <= rounds; seq++ {
+		for {
+			v, err := p.Load(mine)
+			if err != nil {
+				return err
+			}
+			if v == seq {
+				break
+			}
+			p.Compute(50)
+		}
+		if err := p.Store(src, seq); err != nil {
+			return err
+		}
+		if err := dev.SendAsync(src, 0, 4); err != nil {
+			return err
+		}
+	}
+	return nil
+}

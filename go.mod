@@ -1,0 +1,3 @@
+module shrimp
+
+go 1.22

@@ -1,0 +1,191 @@
+// Package addr defines the simulated machine's address types and the
+// proxy address-space layout from the paper (Section 4, Figures 2–3).
+//
+// Addresses are 32 bits, pages are 4 KB. The physical and virtual
+// address spaces are partitioned into four regions selected by the top
+// two address bits:
+//
+//	00xx... real memory space
+//	01xx... memory proxy space
+//	10xx... device proxy space
+//	11xx... kernel / unmapped
+//
+// With this layout the PROXY function of the paper — the one-to-one
+// association between a real memory address and its memory-proxy alias —
+// is a single bit flip, exactly the "somewhat more general scheme" of a
+// fixed offset the paper describes:
+//
+//	PROXY(a)    = a | MemProxyBase
+//	PROXY⁻¹(p)  = p &^ MemProxyBase
+package addr
+
+import "fmt"
+
+// VAddr is a virtual address in some process's address space.
+type VAddr uint32
+
+// PAddr is a physical address on the machine bus.
+type PAddr uint32
+
+// Page geometry.
+const (
+	PageShift  = 12
+	PageSize   = 1 << PageShift // 4096
+	OffsetMask = PageSize - 1
+)
+
+// Region bases and the region-select mask (top two bits).
+const (
+	RegionMask    uint32 = 0xC000_0000
+	MemoryBase    uint32 = 0x0000_0000
+	MemProxyBase  uint32 = 0x4000_0000
+	DevProxyBase  uint32 = 0x8000_0000
+	KernelBase    uint32 = 0xC000_0000
+	RegionSize    uint32 = 0x4000_0000 // bytes per region
+	RegionMaxPage        = RegionSize >> PageShift
+)
+
+// Region identifies which quarter of the address space an address is in.
+type Region int
+
+const (
+	RegionMemory Region = iota
+	RegionMemProxy
+	RegionDevProxy
+	RegionKernel
+)
+
+// String returns a short human-readable region name.
+func (r Region) String() string {
+	switch r {
+	case RegionMemory:
+		return "memory"
+	case RegionMemProxy:
+		return "mem-proxy"
+	case RegionDevProxy:
+		return "dev-proxy"
+	case RegionKernel:
+		return "kernel"
+	default:
+		return fmt.Sprintf("region(%d)", int(r))
+	}
+}
+
+// IsProxy reports whether the region is one of the two proxy regions,
+// i.e. whether references to it are interpreted by the UDMA hardware.
+func (r Region) IsProxy() bool {
+	return r == RegionMemProxy || r == RegionDevProxy
+}
+
+// RegionOf decodes the region of a physical address.
+func RegionOf(a PAddr) Region {
+	return Region(uint32(a) >> 30)
+}
+
+// VRegionOf decodes the region of a virtual address. The simulated
+// machine lays virtual regions out at the same bases as physical ones.
+func VRegionOf(a VAddr) Region {
+	return Region(uint32(a) >> 30)
+}
+
+// Proxy returns the memory-proxy alias of a real physical memory
+// address: PROXY(a). It panics if a is not in the real memory region,
+// because the hardware association only exists for real memory.
+func Proxy(a PAddr) PAddr {
+	if RegionOf(a) != RegionMemory {
+		panic(fmt.Sprintf("addr: Proxy of non-memory address %#x (%s)", uint32(a), RegionOf(a)))
+	}
+	return a | PAddr(MemProxyBase)
+}
+
+// Unproxy returns the real memory address associated with a memory-proxy
+// address: PROXY⁻¹(p). It panics if p is not in the memory proxy region.
+func Unproxy(p PAddr) PAddr {
+	if RegionOf(p) != RegionMemProxy {
+		panic(fmt.Sprintf("addr: Unproxy of non-proxy address %#x (%s)", uint32(p), RegionOf(p)))
+	}
+	return p &^ PAddr(MemProxyBase)
+}
+
+// VProxy is the virtual-space PROXY function: the memory-proxy alias of
+// a virtual memory address. It panics if a is not in the memory region.
+func VProxy(a VAddr) VAddr {
+	if VRegionOf(a) != RegionMemory {
+		panic(fmt.Sprintf("addr: VProxy of non-memory address %#x (%s)", uint32(a), VRegionOf(a)))
+	}
+	return a | VAddr(MemProxyBase)
+}
+
+// VUnproxy inverts VProxy. It panics if p is not in the memory proxy
+// region.
+func VUnproxy(p VAddr) VAddr {
+	if VRegionOf(p) != RegionMemProxy {
+		panic(fmt.Sprintf("addr: VUnproxy of non-proxy address %#x (%s)", uint32(p), VRegionOf(p)))
+	}
+	return p &^ VAddr(MemProxyBase)
+}
+
+// DevProxy forms a device-proxy physical address from a page index
+// within the device proxy region and a byte offset on that page.
+func DevProxy(page uint32, off uint32) PAddr {
+	if page >= RegionMaxPage {
+		panic(fmt.Sprintf("addr: device proxy page %d out of range", page))
+	}
+	if off >= PageSize {
+		panic(fmt.Sprintf("addr: device proxy offset %d out of range", off))
+	}
+	return PAddr(DevProxyBase | page<<PageShift | off)
+}
+
+// DevProxyPage extracts the device-proxy page index from a device-proxy
+// physical address. It panics if p is not in the device proxy region.
+func DevProxyPage(p PAddr) uint32 {
+	if RegionOf(p) != RegionDevProxy {
+		panic(fmt.Sprintf("addr: DevProxyPage of %#x (%s)", uint32(p), RegionOf(p)))
+	}
+	return (uint32(p) &^ DevProxyBase) >> PageShift
+}
+
+// VPN returns the virtual page number of a virtual address (including
+// its region bits, so proxy pages have distinct VPNs from their real
+// counterparts).
+func VPN(a VAddr) uint32 { return uint32(a) >> PageShift }
+
+// PFN returns the physical frame number of a physical address.
+func PFN(a PAddr) uint32 { return uint32(a) >> PageShift }
+
+// PageOff returns the offset of a virtual address within its page.
+func PageOff(a VAddr) uint32 { return uint32(a) & OffsetMask }
+
+// PPageOff returns the offset of a physical address within its page.
+func PPageOff(a PAddr) uint32 { return uint32(a) & OffsetMask }
+
+// PageBase returns the address of the start of the page containing a.
+func PageBase(a VAddr) VAddr { return a &^ OffsetMask }
+
+// PPageBase returns the start of the physical page containing a.
+func PPageBase(a PAddr) PAddr { return a &^ OffsetMask }
+
+// FrameAddr returns the physical address of the start of frame pfn.
+func FrameAddr(pfn uint32) PAddr { return PAddr(pfn << PageShift) }
+
+// PageAddr returns the virtual address of the start of page vpn.
+func PageAddr(vpn uint32) VAddr { return VAddr(vpn << PageShift) }
+
+// SamePage reports whether two virtual addresses are on the same page.
+func SamePage(a, b VAddr) bool { return VPN(a) == VPN(b) }
+
+// SpanCrossesPage reports whether [a, a+n) crosses a page boundary.
+// Zero- and one-byte spans never cross.
+func SpanCrossesPage(a VAddr, n int) bool {
+	if n <= 1 {
+		return false
+	}
+	return VPN(a) != VPN(a+VAddr(n-1))
+}
+
+// BytesToPageEnd returns how many bytes remain on a's page starting at
+// a, inclusive of a itself.
+func BytesToPageEnd(a VAddr) int {
+	return PageSize - int(PageOff(a))
+}

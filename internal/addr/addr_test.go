@@ -1,0 +1,212 @@
+package addr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRegionDecode(t *testing.T) {
+	cases := []struct {
+		a    PAddr
+		want Region
+	}{
+		{0x0000_0000, RegionMemory},
+		{0x3FFF_FFFF, RegionMemory},
+		{0x4000_0000, RegionMemProxy},
+		{0x7FFF_FFFF, RegionMemProxy},
+		{0x8000_0000, RegionDevProxy},
+		{0xBFFF_FFFF, RegionDevProxy},
+		{0xC000_0000, RegionKernel},
+		{0xFFFF_FFFF, RegionKernel},
+	}
+	for _, tc := range cases {
+		if got := RegionOf(tc.a); got != tc.want {
+			t.Errorf("RegionOf(%#x) = %v, want %v", uint32(tc.a), got, tc.want)
+		}
+		if got := VRegionOf(VAddr(tc.a)); got != tc.want {
+			t.Errorf("VRegionOf(%#x) = %v, want %v", uint32(tc.a), got, tc.want)
+		}
+	}
+}
+
+func TestRegionString(t *testing.T) {
+	if RegionMemory.String() != "memory" || RegionMemProxy.String() != "mem-proxy" ||
+		RegionDevProxy.String() != "dev-proxy" || RegionKernel.String() != "kernel" {
+		t.Fatal("unexpected region names")
+	}
+	if Region(99).String() != "region(99)" {
+		t.Fatal("unknown region name")
+	}
+}
+
+func TestIsProxy(t *testing.T) {
+	if RegionMemory.IsProxy() || RegionKernel.IsProxy() {
+		t.Fatal("memory/kernel regions must not be proxy")
+	}
+	if !RegionMemProxy.IsProxy() || !RegionDevProxy.IsProxy() {
+		t.Fatal("proxy regions must report IsProxy")
+	}
+}
+
+// Property from the paper: PROXY is a bijection between real memory and
+// memory proxy space, and PROXY⁻¹ inverts it.
+func TestProxyRoundTrip(t *testing.T) {
+	prop := func(raw uint32) bool {
+		a := PAddr(raw &^ RegionMask) // force into memory region
+		p := Proxy(a)
+		if RegionOf(p) != RegionMemProxy {
+			return false
+		}
+		return Unproxy(p) == a
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVProxyRoundTrip(t *testing.T) {
+	prop := func(raw uint32) bool {
+		a := VAddr(raw &^ RegionMask)
+		p := VProxy(a)
+		return VRegionOf(p) == RegionMemProxy && VUnproxy(p) == a
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProxyPreservesOffsetWithinRegion(t *testing.T) {
+	a := PAddr(0x0012_3456)
+	p := Proxy(a)
+	if uint32(p) != 0x4012_3456 {
+		t.Fatalf("Proxy(%#x) = %#x, want 0x40123456", uint32(a), uint32(p))
+	}
+}
+
+func TestProxyPanicsOutsideMemory(t *testing.T) {
+	mustPanic(t, "Proxy(dev)", func() { Proxy(PAddr(DevProxyBase)) })
+	mustPanic(t, "Unproxy(mem)", func() { Unproxy(PAddr(0)) })
+	mustPanic(t, "VProxy(proxy)", func() { VProxy(VAddr(MemProxyBase)) })
+	mustPanic(t, "VUnproxy(mem)", func() { VUnproxy(VAddr(0)) })
+}
+
+func TestDevProxyComposeDecompose(t *testing.T) {
+	p := DevProxy(12345, 678)
+	if RegionOf(p) != RegionDevProxy {
+		t.Fatalf("DevProxy produced region %v", RegionOf(p))
+	}
+	if got := DevProxyPage(p); got != 12345 {
+		t.Fatalf("DevProxyPage = %d, want 12345", got)
+	}
+	if got := PPageOff(p); got != 678 {
+		t.Fatalf("offset = %d, want 678", got)
+	}
+}
+
+func TestDevProxyBounds(t *testing.T) {
+	mustPanic(t, "page too big", func() { DevProxy(RegionMaxPage, 0) })
+	mustPanic(t, "offset too big", func() { DevProxy(0, PageSize) })
+	mustPanic(t, "DevProxyPage of memory addr", func() { DevProxyPage(PAddr(0)) })
+	// Largest valid values must not panic.
+	DevProxy(RegionMaxPage-1, PageSize-1)
+}
+
+func TestPageArithmetic(t *testing.T) {
+	a := VAddr(0x0001_2345)
+	if VPN(a) != 0x12 {
+		t.Fatalf("VPN = %#x, want 0x12", VPN(a))
+	}
+	if PageOff(a) != 0x345 {
+		t.Fatalf("PageOff = %#x, want 0x345", PageOff(a))
+	}
+	if PageBase(a) != 0x0001_2000 {
+		t.Fatalf("PageBase = %#x", uint32(PageBase(a)))
+	}
+	if PageAddr(VPN(a)) != PageBase(a) {
+		t.Fatal("PageAddr(VPN(a)) != PageBase(a)")
+	}
+	p := PAddr(0x0002_3456)
+	if PFN(p) != 0x23 {
+		t.Fatalf("PFN = %#x, want 0x23", PFN(p))
+	}
+	if PPageBase(p) != 0x0002_3000 {
+		t.Fatalf("PPageBase = %#x", uint32(PPageBase(p)))
+	}
+	if FrameAddr(PFN(p)) != PPageBase(p) {
+		t.Fatal("FrameAddr(PFN(p)) != PPageBase(p)")
+	}
+}
+
+func TestProxyVPNsDistinctFromRealVPNs(t *testing.T) {
+	a := VAddr(0x0000_5000)
+	if VPN(a) == VPN(VProxy(a)) {
+		t.Fatal("proxy page shares VPN with its real page; PTEs would collide")
+	}
+}
+
+func TestSamePage(t *testing.T) {
+	if !SamePage(0x1000, 0x1FFF) {
+		t.Fatal("same-page addresses reported different")
+	}
+	if SamePage(0x1FFF, 0x2000) {
+		t.Fatal("adjacent pages reported same")
+	}
+}
+
+func TestSpanCrossesPage(t *testing.T) {
+	cases := []struct {
+		a    VAddr
+		n    int
+		want bool
+	}{
+		{0x1000, 0, false},
+		{0x1000, 1, false},
+		{0x1000, PageSize, false},
+		{0x1000, PageSize + 1, true},
+		{0x1FFF, 1, false},
+		{0x1FFF, 2, true},
+		{0x1800, 0x800, false},
+		{0x1800, 0x801, true},
+	}
+	for _, tc := range cases {
+		if got := SpanCrossesPage(tc.a, tc.n); got != tc.want {
+			t.Errorf("SpanCrossesPage(%#x, %d) = %v, want %v", uint32(tc.a), tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestBytesToPageEnd(t *testing.T) {
+	if got := BytesToPageEnd(0x1000); got != PageSize {
+		t.Fatalf("BytesToPageEnd(page start) = %d, want %d", got, PageSize)
+	}
+	if got := BytesToPageEnd(0x1FFF); got != 1 {
+		t.Fatalf("BytesToPageEnd(last byte) = %d, want 1", got)
+	}
+}
+
+// Property: a span fits on one page iff its length is at most the bytes
+// remaining on the page.
+func TestSpanVsRemainingProperty(t *testing.T) {
+	prop := func(raw uint32, n uint16) bool {
+		a := VAddr(raw &^ RegionMask)
+		if int(n) == 0 {
+			return true
+		}
+		crosses := SpanCrossesPage(a, int(n))
+		fits := int(n) <= BytesToPageEnd(a)
+		return crosses == !fits
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", name)
+		}
+	}()
+	fn()
+}

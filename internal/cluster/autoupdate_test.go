@@ -1,0 +1,136 @@
+package cluster_test
+
+import (
+	"testing"
+
+	"shrimp/internal/addr"
+	"shrimp/internal/cluster"
+	"shrimp/internal/kernel"
+	"shrimp/internal/nic"
+	"shrimp/internal/udmalib"
+)
+
+// TestAutomaticUpdateEndToEnd exercises SHRIMP's second transfer
+// strategy: after MapAutoUpdate, ordinary stores to the exported page
+// are snooped by the NIC and appear in the remote page with no
+// initiation sequence at all.
+func TestAutomaticUpdateEndToEnd(t *testing.T) {
+	c := cluster.New(cluster.Config{Nodes: 2, NIC: nic.Config{NIPTPages: 16}})
+	defer c.Shutdown()
+
+	recvReady := make(chan []uint32, 1)
+	var recvWord, recvWord2 uint32
+	var recvErr, sendErr error
+
+	c.Nodes[0].Kernel.Spawn("recv", func(p *kernel.Proc) {
+		va, _ := p.Alloc(addr.PageSize)
+		pfns, err := udmalib.ExportBuffer(c.Nodes[0].Kernel, p, va, 1)
+		if err != nil {
+			recvErr = err
+			return
+		}
+		recvReady <- pfns
+		// Poll for the sentinel the sender's LAST store writes.
+		for {
+			v, err := p.Load(va + 256)
+			if err != nil {
+				recvErr = err
+				return
+			}
+			if v == 0xF1A5F1A5 {
+				break
+			}
+			p.Compute(200)
+		}
+		recvWord, _ = p.Load(va)
+		recvWord2, _ = p.Load(va + 4)
+	})
+
+	c.Nodes[1].Kernel.Spawn("send", func(p *kernel.Proc) {
+		pfns := waitChan(p, recvReady)
+		if err := udmalib.MapSendWindow(c.NICs[1], 3, 0, pfns); err != nil {
+			sendErr = err
+			return
+		}
+		src, _ := p.Alloc(addr.PageSize)
+		if err := p.MapAutoUpdate(c.NICs[1], src, 1, 3); err != nil {
+			sendErr = err
+			return
+		}
+		// Plain stores; no STORE/LOAD initiation sequence anywhere.
+		p.Store(src, 0xAAAA5555)
+		p.Store(src+4, 0x12345678)
+		p.Store(src+256, 0xF1A5F1A5) // non-contiguous: flushes the pair
+		if err := p.UnmapAutoUpdate(src); err != nil {
+			sendErr = err
+		}
+	})
+
+	if err := c.Run(1_000_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if sendErr != nil {
+		t.Fatalf("sender: %v", sendErr)
+	}
+	if recvErr != nil {
+		t.Fatalf("receiver: %v", recvErr)
+	}
+	if recvWord != 0xAAAA5555 || recvWord2 != 0x12345678 {
+		t.Fatalf("remote words = %#x, %#x", recvWord, recvWord2)
+	}
+	st := c.NICs[1].Stats()
+	if st.AutoWords != 3 {
+		t.Fatalf("AutoWords = %d, want 3", st.AutoWords)
+	}
+	if st.AutoPackets < 2 {
+		t.Fatalf("AutoPackets = %d, want >= 2 (gap forces a flush)", st.AutoPackets)
+	}
+}
+
+func TestAutoUpdateMappingErrors(t *testing.T) {
+	c := cluster.New(cluster.Config{Nodes: 1, NIC: nic.Config{NIPTPages: 4}})
+	defer c.Shutdown()
+	var errs []error
+	c.Nodes[0].Kernel.Spawn("p", func(p *kernel.Proc) {
+		va, _ := p.Alloc(2 * addr.PageSize)
+		errs = append(errs, p.MapAutoUpdate(nil, va, 1, 0))                // nil sink
+		errs = append(errs, p.MapAutoUpdate(c.NICs[0], va+12, 1, 0))       // misaligned
+		errs = append(errs, p.MapAutoUpdate(c.NICs[0], va, 0, 0))          // zero pages
+		errs = append(errs, p.MapAutoUpdate(c.NICs[0], 0x00F0_0000, 1, 0)) // unmapped page
+		errs = append(errs, p.UnmapAutoUpdate(va))                         // nothing mapped there
+		// A valid mapping, then an overlapping one.
+		if err := p.MapAutoUpdate(c.NICs[0], va, 2, 0); err != nil {
+			t.Errorf("valid MapAutoUpdate failed: %v", err)
+		}
+		errs = append(errs, p.MapAutoUpdate(c.NICs[0], va+addr.PageSize, 1, 2))
+	})
+	if err := c.Nodes[0].Kernel.Run(1_000_000_000); err != nil {
+		t.Fatal(err)
+	}
+	for i, err := range errs {
+		if err == nil {
+			t.Errorf("invalid MapAutoUpdate case %d succeeded", i)
+		}
+	}
+}
+
+func TestAutoUpdatePagesArePinned(t *testing.T) {
+	c := cluster.New(cluster.Config{Nodes: 1, NIC: nic.Config{NIPTPages: 4}})
+	defer c.Shutdown()
+	var before, during, after int
+	c.Nodes[0].Kernel.Spawn("p", func(p *kernel.Proc) {
+		va, _ := p.Alloc(addr.PageSize)
+		before = c.Nodes[0].Kernel.FreeFrames()
+		p.MapAutoUpdate(c.NICs[0], va, 1, 0)
+		during = int(c.Nodes[0].Kernel.Stats().Pins)
+		p.UnmapAutoUpdate(va)
+		after = int(c.Nodes[0].Kernel.Stats().Unpins)
+	})
+	if err := c.Nodes[0].Kernel.Run(1_000_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if during != 1 || after != 1 {
+		t.Fatalf("pins=%d unpins=%d, want 1,1", during, after)
+	}
+	_ = before
+}

@@ -1,0 +1,190 @@
+// Package cluster assembles a multi-node SHRIMP machine: N nodes, each
+// with its own clock and kernel, a network interface per node, and one
+// routing backplane.
+//
+// Execution model: every node simulates on its own clock. Cluster.Run
+// drives the kernels in windowed lockstep — each node runs until its
+// local clock reaches a global horizon, then the horizon advances. A
+// packet launched in one window is therefore visible to its receiver no
+// later than the next window, bounding cross-node causality error by
+// the window size (default 10k cycles ≈ 170 µs; tighten for latency
+// experiments). This keeps every node's CPU concurrently "running" in
+// simulated time, which a single shared clock cannot do with
+// coroutine-style processes.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+
+	"shrimp/internal/interconnect"
+	"shrimp/internal/kernel"
+	"shrimp/internal/machine"
+	"shrimp/internal/nic"
+	"shrimp/internal/sim"
+)
+
+// Config describes a cluster.
+type Config struct {
+	// Nodes is the node count (the paper's prototype had four).
+	Nodes int
+	// Machine configures each node (Clock is ignored: every node gets
+	// its own).
+	Machine machine.Config
+	// NIC configures each node's network interface.
+	NIC nic.Config
+	// Window is the lockstep horizon step in cycles (default 10_000).
+	Window sim.Cycles
+}
+
+// Cluster is the assembled machine.
+type Cluster struct {
+	Nodes     []*machine.Node
+	NICs      []*nic.Interface
+	Backplane *interconnect.Backplane
+
+	window sim.Cycles
+}
+
+// New builds and wires a cluster. The NIC occupies device-proxy pages
+// starting at 0 on every node.
+func New(cfg Config) *Cluster {
+	if cfg.Nodes <= 0 {
+		panic(fmt.Sprintf("cluster: %d nodes", cfg.Nodes))
+	}
+	costs := cfg.Machine.Costs
+	if costs == nil {
+		costs = machine.SHRIMP1996()
+	}
+	window := cfg.Window
+	if window == 0 {
+		window = 10_000
+	}
+	c := &Cluster{
+		Backplane: interconnect.New(costs),
+		window:    window,
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		mcfg := cfg.Machine
+		mcfg.Costs = costs
+		mcfg.Clock = nil // per-node clock
+		node := machine.New(i, mcfg)
+		iface := nic.New(i, node.Clock, costs, node.RAM, node.Bus, c.Backplane, cfg.NIC)
+		node.AttachDevice(iface, 0)
+		c.Nodes = append(c.Nodes, node)
+		c.NICs = append(c.NICs, iface)
+	}
+	return c
+}
+
+// Run drives all nodes until every process on every node has exited or
+// each node's clock has passed limit. Per-node deadlocks are expected
+// while a node waits for a packet another node has not sent yet; a
+// whole round in which no node makes progress and none has pending
+// events ends the run.
+func (c *Cluster) Run(limit sim.Cycles) error {
+	horizon := c.minNow() + c.window
+	for {
+		if horizon > limit {
+			horizon = limit
+		}
+		progress := false
+		for _, n := range c.Nodes {
+			before := n.Clock.Now()
+			err := n.Kernel.Run(horizon)
+			if err != nil && !errors.Is(err, kernel.ErrDeadlock) {
+				return fmt.Errorf("cluster: node %d: %w", n.ID, err)
+			}
+			if n.Kernel.AllExited() {
+				// The node's software is done but its hardware may not
+				// be: in-flight DMA completions launch packets, receive
+				// DMAs land data other nodes are polling for. Let the
+				// node's clock follow the horizon so those events fire.
+				n.Clock.AdvanceTo(horizon)
+			}
+			if n.Clock.Now() != before {
+				progress = true
+			}
+		}
+		if c.allExitedOrIdle() {
+			c.drainHardware()
+			return nil
+		}
+		if horizon >= limit {
+			return nil
+		}
+		if !progress && !c.anyPending() {
+			return kernel.ErrDeadlock
+		}
+		horizon += c.window
+	}
+}
+
+// drainHardware fires every remaining scheduled event on every node
+// (in-flight transfers, packets, receive DMAs, flush timers) once all
+// software has exited. Events fired on one node may schedule events on
+// another, so sweep until the whole cluster is quiescent.
+func (c *Cluster) drainHardware() {
+	for {
+		fired := 0
+		for _, n := range c.Nodes {
+			fired += n.Clock.RunUntilIdle()
+		}
+		if fired == 0 {
+			return
+		}
+	}
+}
+
+// Shutdown kills all processes on all nodes.
+func (c *Cluster) Shutdown() {
+	for _, n := range c.Nodes {
+		n.Kernel.Shutdown()
+	}
+}
+
+// MaxNow returns the furthest-ahead node clock — the cluster-wide
+// elapsed time for aggregate-bandwidth arithmetic.
+func (c *Cluster) MaxNow() sim.Cycles {
+	var m sim.Cycles
+	for _, n := range c.Nodes {
+		if now := n.Clock.Now(); now > m {
+			m = now
+		}
+	}
+	return m
+}
+
+func (c *Cluster) minNow() sim.Cycles {
+	m := sim.Forever
+	for _, n := range c.Nodes {
+		if now := n.Clock.Now(); now < m {
+			m = now
+		}
+	}
+	return m
+}
+
+func (c *Cluster) allExitedOrIdle() bool {
+	for _, n := range c.Nodes {
+		if !kernelIdle(n) {
+			return false
+		}
+	}
+	return true
+}
+
+func kernelIdle(n *machine.Node) bool {
+	// A node is idle for termination purposes when no process can ever
+	// run again: the kernel reports all-exited via a zero-length Run.
+	return n.Kernel.AllExited()
+}
+
+func (c *Cluster) anyPending() bool {
+	for _, n := range c.Nodes {
+		if n.Clock.Pending() > 0 {
+			return true
+		}
+	}
+	return false
+}

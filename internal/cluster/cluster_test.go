@@ -1,0 +1,346 @@
+package cluster_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"shrimp/internal/addr"
+	"shrimp/internal/cluster"
+	"shrimp/internal/kernel"
+	"shrimp/internal/nic"
+	"shrimp/internal/sim"
+	"shrimp/internal/udmalib"
+)
+
+func pattern(n int, seed byte) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(i)*3 + seed
+	}
+	return out
+}
+
+// waitChan polls a Go channel used as an out-of-band control plane
+// between nodes, yielding simulated time between attempts. A process
+// must never block its coroutine on a bare channel receive: the node's
+// kernel would never regain control and the cluster scheduler would
+// hang (nodes execute one at a time).
+func waitChan[T any](p *kernel.Proc, ch chan T) T {
+	for {
+		select {
+		case v := <-ch:
+			return v
+		default:
+			p.Sleep(5_000)
+		}
+	}
+}
+
+func TestTwoNodeDeliberateUpdate(t *testing.T) {
+	c := cluster.New(cluster.Config{
+		Nodes: 2,
+		NIC:   nic.Config{NIPTPages: 64},
+	})
+	defer c.Shutdown()
+
+	const msgBytes = 8192
+	payload := pattern(msgBytes, 1)
+	recvReady := make(chan []uint32, 1)
+	var recvData []byte
+	var recvErr, sendErr error
+
+	// Receiver on node 0: allocate and export a buffer, then poll its
+	// tail word until the message lands (no CPU involvement in the
+	// receive itself — that is the point of deliberate update).
+	c.Nodes[0].Kernel.Spawn("recv", func(p *kernel.Proc) {
+		va, err := p.Alloc(msgBytes)
+		if err != nil {
+			recvErr = err
+			return
+		}
+		pfns, err := udmalib.ExportBuffer(c.Nodes[0].Kernel, p, va, msgBytes/addr.PageSize)
+		if err != nil {
+			recvErr = err
+			return
+		}
+		recvReady <- pfns
+		for {
+			v, err := p.Load(va + msgBytes - 4)
+			if err != nil {
+				recvErr = err
+				return
+			}
+			if v != 0 {
+				break
+			}
+			p.Compute(200)
+		}
+		recvData, recvErr = p.ReadBuf(va, msgBytes)
+	})
+
+	// Sender on node 1.
+	c.Nodes[1].Kernel.Spawn("send", func(p *kernel.Proc) {
+		pfns := waitChan(p, recvReady)
+		if err := udmalib.MapSendWindow(c.NICs[1], 0, 0, pfns); err != nil {
+			sendErr = err
+			return
+		}
+		d, err := udmalib.Open(p, c.NICs[1], true)
+		if err != nil {
+			sendErr = err
+			return
+		}
+		va, _ := p.Alloc(msgBytes)
+		p.WriteBuf(va, payload)
+		sendErr = d.Send(va, udmalib.WindowOff(0, 0), msgBytes)
+	})
+
+	if err := c.Run(500_000_000); err != nil {
+		t.Fatalf("cluster run: %v", err)
+	}
+	if sendErr != nil {
+		t.Fatalf("sender: %v", sendErr)
+	}
+	if recvErr != nil {
+		t.Fatalf("receiver: %v", recvErr)
+	}
+	if !bytes.Equal(recvData, payload) {
+		t.Fatalf("message corrupted in flight (first bytes % x vs % x)",
+			recvData[:8], payload[:8])
+	}
+	if s := c.NICs[1].Stats(); s.PacketsSent != 2 { // 8 KB = two page updates
+		t.Fatalf("packets sent = %d, want 2", s.PacketsSent)
+	}
+}
+
+func TestFourNodeAllToAll(t *testing.T) {
+	const nodes = 4
+	const msgBytes = 4096
+	c := cluster.New(cluster.Config{
+		Nodes: nodes,
+		NIC:   nic.Config{NIPTPages: 64},
+	})
+	defer c.Shutdown()
+
+	type export struct {
+		node int
+		pfns []uint32
+	}
+	exports := make(chan export, nodes)
+	errs := make([]error, nodes)
+	verified := make([]bool, nodes)
+
+	for i := 0; i < nodes; i++ {
+		i := i
+		c.Nodes[i].Kernel.Spawn(fmt.Sprintf("peer%d", i), func(p *kernel.Proc) {
+			// Export one receive page per peer (slot s receives from
+			// sender s).
+			va, _ := p.Alloc(nodes * msgBytes)
+			pfns, err := udmalib.ExportBuffer(c.Nodes[i].Kernel, p, va, nodes)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			exports <- export{node: i, pfns: pfns}
+
+			// Node 0 is the mapping master: collect everyone's exported
+			// frames and install every sender's NIPT window.
+			if i == 0 {
+				all := make([][]uint32, nodes)
+				for got := 0; got < nodes; got++ {
+					e := waitChan(p, exports)
+					all[e.node] = e.pfns
+				}
+				for s := 0; s < nodes; s++ {
+					for d := 0; d < nodes; d++ {
+						if s == d {
+							continue
+						}
+						if err := c.NICs[s].SetNIPT(uint32(d), nic.NIPTEntry{
+							Valid: true, DestNode: d, DestPFN: all[d][s],
+						}); err != nil {
+							errs[i] = err
+							return
+						}
+					}
+				}
+			}
+
+			// Send one page to every peer; NIPT entries may not be
+			// installed yet, so retry hardware "invalid entry" errors.
+			dev, err := udmalib.Open(p, c.NICs[i], true)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			src, _ := p.Alloc(msgBytes)
+			p.WriteBuf(src, pattern(msgBytes, byte(0x10*i+1)))
+			for d := 0; d < nodes; d++ {
+				if d == i {
+					continue
+				}
+				for {
+					err := dev.Send(src, udmalib.WindowOff(uint32(d), 0), msgBytes)
+					if err == nil {
+						break
+					}
+					if _, ok := err.(*udmalib.HardError); ok {
+						p.Sleep(10_000)
+						continue
+					}
+					errs[i] = err
+					return
+				}
+			}
+
+			// Wait for and verify every peer's page.
+			for s := 0; s < nodes; s++ {
+				if s == i {
+					continue
+				}
+				slot := va + addr.VAddr(s*msgBytes)
+				for {
+					v, err := p.Load(slot + msgBytes - 4)
+					if err != nil {
+						errs[i] = err
+						return
+					}
+					if v != 0 {
+						break
+					}
+					p.Compute(500)
+				}
+				got, err := p.ReadBuf(slot, msgBytes)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				if !bytes.Equal(got, pattern(msgBytes, byte(0x10*s+1))) {
+					errs[i] = fmt.Errorf("node %d: slot %d corrupted", i, s)
+					return
+				}
+			}
+			verified[i] = true
+		})
+	}
+
+	if err := c.Run(5_000_000_000); err != nil {
+		t.Fatalf("cluster run: %v", err)
+	}
+	for i := 0; i < nodes; i++ {
+		if errs[i] != nil {
+			t.Fatalf("node %d: %v", i, errs[i])
+		}
+		if !verified[i] {
+			t.Fatalf("node %d never verified all peer pages", i)
+		}
+	}
+	var totalSent uint64
+	for i := range c.NICs {
+		totalSent += c.NICs[i].Stats().BytesSent
+	}
+	if totalSent != uint64(nodes*(nodes-1)*msgBytes) {
+		t.Fatalf("total bytes sent = %d, want %d", totalSent, nodes*(nodes-1)*msgBytes)
+	}
+}
+
+func TestClusterProtectionAcrossProcesses(t *testing.T) {
+	// A process that never called MapDevice cannot touch the NIC, even
+	// on a cluster node where another process communicates heavily.
+	c := cluster.New(cluster.Config{Nodes: 2, NIC: nic.Config{NIPTPages: 16}})
+	defer c.Shutdown()
+	var intruderErr error
+	c.Nodes[0].Kernel.Spawn("intruder", func(p *kernel.Proc) {
+		_, intruderErr = p.Load(addr.VAddr(addr.DevProxy(0, 0)))
+	})
+	if err := c.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if intruderErr == nil {
+		t.Fatal("intruder touched the NIC without a mapping")
+	}
+}
+
+func TestClusterConfigValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-node cluster did not panic")
+		}
+	}()
+	cluster.New(cluster.Config{Nodes: 0})
+}
+
+// TestHardwareDrainsAfterLastExit is the regression test for a real
+// bug: a process that exits right after initiating its final transfer
+// leaves the DMA completion (and the packet it launches) pending in the
+// node's event queue. The cluster must keep that node's hardware
+// clock moving so the data still reaches the peer — here the receiver
+// is an active process polling for exactly that data.
+func TestHardwareDrainsAfterLastExit(t *testing.T) {
+	c := cluster.New(cluster.Config{Nodes: 2, NIC: nic.Config{NIPTPages: 8}})
+	defer c.Shutdown()
+
+	ready := make(chan []uint32, 1)
+	var got uint32
+	var recvErr, sendErr error
+	c.Nodes[0].Kernel.Spawn("recv", func(p *kernel.Proc) {
+		va, _ := p.Alloc(addr.PageSize)
+		pfns, err := udmalib.ExportBuffer(c.Nodes[0].Kernel, p, va, 1)
+		if err != nil {
+			recvErr = err
+			return
+		}
+		ready <- pfns
+		for {
+			v, err := p.Load(va)
+			if err != nil {
+				recvErr = err
+				return
+			}
+			if v != 0 {
+				got = v
+				return
+			}
+			p.Compute(200)
+		}
+	})
+	c.Nodes[1].Kernel.Spawn("send", func(p *kernel.Proc) {
+		pfns := waitChan(p, ready)
+		if err := udmalib.MapSendWindow(c.NICs[1], 0, 0, pfns); err != nil {
+			sendErr = err
+			return
+		}
+		d, err := udmalib.Open(p, c.NICs[1], true)
+		if err != nil {
+			sendErr = err
+			return
+		}
+		src, _ := p.Alloc(addr.PageSize)
+		p.Store(src, 0xC0FFEE)
+		// Fire and EXIT: no completion wait. The engine, the packet
+		// and the remote receive DMA all outlive this process.
+		sendErr = d.SendAsync(src, 0, 4)
+	})
+	if err := c.Run(2_000_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if sendErr != nil || recvErr != nil {
+		t.Fatalf("send=%v recv=%v", sendErr, recvErr)
+	}
+	if got != 0xC0FFEE {
+		t.Fatalf("receiver got %#x", got)
+	}
+}
+
+func TestClusterMaxNow(t *testing.T) {
+	c := cluster.New(cluster.Config{Nodes: 2, NIC: nic.Config{NIPTPages: 4}})
+	defer c.Shutdown()
+	c.Nodes[0].Kernel.Spawn("busy", func(p *kernel.Proc) { p.Compute(50_000) })
+	if err := c.Run(sim.Forever); err != nil {
+		t.Fatal(err)
+	}
+	if c.MaxNow() < 50_000 {
+		t.Fatalf("MaxNow = %d", c.MaxNow())
+	}
+}

@@ -1,0 +1,538 @@
+package core
+
+import (
+	"fmt"
+
+	"shrimp/internal/addr"
+	"shrimp/internal/device"
+	"shrimp/internal/dma"
+	"shrimp/internal/sim"
+	"shrimp/internal/trace"
+)
+
+// State is the UDMA state machine state (paper Figure 5).
+type State int
+
+const (
+	Idle State = iota
+	DestLoaded
+	Transferring
+)
+
+func (s State) String() string {
+	switch s {
+	case Idle:
+		return "Idle"
+	case DestLoaded:
+		return "DestLoaded"
+	case Transferring:
+		return "Transferring"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// request is one pending transfer: endpoints already translated to bus
+// addresses, count already clamped to page boundaries, base remembered
+// for the MATCH flag.
+type request struct {
+	src, dst addr.PAddr
+	count    int
+	base     addr.PAddr // physical proxy address of the initiating LOAD
+	ticket   *SysTicket // non-nil for system-queue submissions
+}
+
+// SysTicket tracks one system-queue submission to completion. The
+// kernel polls Done between engine-completion wakeups.
+type SysTicket struct {
+	Done bool
+	Err  error
+}
+
+// Config selects controller variants for the ablation experiments.
+type Config struct {
+	// QueueDepth is the Section 7 request queue size. Zero gives the
+	// basic controller of Sections 3–6: while a transfer is in flight
+	// the machine ignores Store events and refuses initiations.
+	QueueDepth int
+	// SystemQueueDepth enables the paper's two-priority-queue variant:
+	// a second queue reserved for the kernel, drained before the user
+	// queue. Zero disables it.
+	SystemQueueDepth int
+}
+
+// Controller is the UDMA hardware: the state machine interpreting the
+// two-instruction initiation sequence, physical proxy-address
+// translation, and the interface the kernel reads to maintain
+// invariant I4. It drives one standard dma.Engine.
+//
+// The controller is deliberately ignorant of processes: "the UDMA
+// device is stateless with respect to a context switch ... The UDMA
+// device does not know which user process is running" (Section 6).
+// Atomicity of the two-reference sequence is the kernel's job (I1),
+// done by firing Inval on every context switch.
+type Controller struct {
+	engine *dma.Engine
+	devmap *device.Map
+	clock  *sim.Clock
+	cfg    Config
+
+	state State
+	// Latched by the Store half of the sequence.
+	dest  addr.PAddr
+	count int
+
+	// In-flight transfer, for MATCH/remaining and I4.
+	inflight    request
+	hasInflight bool
+
+	userQ []request
+	sysQ  []request
+
+	tracer *trace.Tracer // nil = tracing off
+
+	// pageRefs counts, per physical frame, how many pending or
+	// in-flight requests touch it — the "reference-count register" the
+	// paper proposes for I4 with queueing.
+	pageRefs map[uint32]int
+
+	stats Stats
+}
+
+// Stats counts controller events for the experiments.
+type Stats struct {
+	Stores       uint64 // Store events (positive nbytes)
+	Loads        uint64 // Load events
+	Invals       uint64 // Inval events
+	Initiations  uint64 // transfers started or enqueued
+	BadLoads     uint64 // WRONG-SPACE rejections
+	DeviceErrors uint64 // device-validation rejections
+	QueueFull    uint64 // initiations refused for a full queue
+	Busy         uint64 // loads observing a busy basic controller
+	Completions  uint64 // engine completions
+	Terminations uint64 // kernel-initiated Terminate calls
+	MaxQueueLen  int    // high-water mark of the user queue
+}
+
+// New wires a controller onto a DMA engine and device map. It
+// registers itself on the engine's completion interrupt to pop queued
+// requests.
+func New(engine *dma.Engine, devmap *device.Map, clock *sim.Clock, cfg Config) *Controller {
+	if engine == nil || devmap == nil || clock == nil {
+		panic("core: New requires non-nil engine, devmap and clock")
+	}
+	if cfg.QueueDepth < 0 || cfg.SystemQueueDepth < 0 {
+		panic("core: negative queue depth")
+	}
+	c := &Controller{
+		engine:   engine,
+		devmap:   devmap,
+		clock:    clock,
+		cfg:      cfg,
+		pageRefs: make(map[uint32]int),
+	}
+	engine.OnComplete(func(err error) { c.onEngineDone(err) })
+	return c
+}
+
+// SetTracer attaches an event tracer (nil disables tracing).
+func (c *Controller) SetTracer(t *trace.Tracer) { c.tracer = t }
+
+// State returns the current state-machine state. With queueing enabled
+// the machine reports Transferring whenever work is in flight or
+// queued, matching what the status word shows a user.
+func (c *Controller) State() State {
+	if c.state == DestLoaded {
+		return DestLoaded
+	}
+	if c.busy() {
+		return Transferring
+	}
+	return Idle
+}
+
+// Stats returns a copy of the event counters.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// QueueLen returns the current user-queue length.
+func (c *Controller) QueueLen() int { return len(c.userQ) }
+
+func (c *Controller) busy() bool {
+	return c.engine.Busy() || len(c.userQ) > 0 || len(c.sysQ) > 0
+}
+
+// Store is the hardware's reaction to a store of value at proxy
+// physical address pa (the STORE half of the initiation sequence, or an
+// Inval when value is negative). The paper's Store event latches the
+// DESTINATION and COUNT registers.
+//
+// pa must be in a proxy region; the machine's bus decode guarantees it.
+func (c *Controller) Store(pa addr.PAddr, value int32) {
+	mustProxy(pa, "Store")
+	if value < 0 {
+		// Inval event: terminate an incomplete initiation sequence.
+		c.stats.Invals++
+		c.tracer.Record(trace.EvInval, uint64(pa), 0, "")
+		c.state = Idle
+		return
+	}
+	c.stats.Stores++
+	c.tracer.Record(trace.EvStore, uint64(pa), uint64(value), "")
+	if c.cfg.QueueDepth == 0 && c.busy() {
+		// Basic machine: "if no transition is depicted for a given
+		// event in a given state, then that event does not cause a
+		// state transition" — Store in Transferring is ignored.
+		return
+	}
+	// Idle --Store--> DestLoaded, or DestLoaded --Store--> DestLoaded
+	// (overwrites the registers).
+	c.dest = pa
+	c.count = int(value)
+	c.state = DestLoaded
+}
+
+// Inval is the kernel-facing spelling of storing a negative value to
+// any valid proxy address; the context-switch code calls it (I1).
+func (c *Controller) Inval() {
+	c.Store(addr.PAddr(addr.MemProxyBase), -1)
+}
+
+// Load is the hardware's reaction to a load from proxy physical
+// address pa: the LOAD half of the initiation sequence, or a status
+// poll. It returns the status word.
+func (c *Controller) Load(pa addr.PAddr) Status {
+	mustProxy(pa, "Load")
+	c.stats.Loads++
+	c.tracer.Record(trace.EvLoad, uint64(pa), 0, "")
+
+	if c.state != DestLoaded {
+		// Status poll (or a LOAD whose STORE half was lost to an Inval
+		// or ignored by a busy basic machine).
+		if c.busy() {
+			c.stats.Busy++
+		}
+		return c.pollStatus(pa)
+	}
+
+	// BadLoad: source in the same proxy region as the destination asks
+	// for mem→mem or dev→dev, which the basic UDMA device rejects.
+	if addr.RegionOf(pa) == addr.RegionOf(c.dest) {
+		c.stats.BadLoads++
+		c.tracer.Record(trace.EvBadLoad, uint64(pa), uint64(c.dest), "")
+		c.state = Idle
+		return makeStatus(false, c.busy(), false, false, true, 0, 0) |
+			c.matchBit(pa)
+	}
+
+	req, errBits := c.makeRequest(pa)
+	if errBits != 0 {
+		c.stats.DeviceErrors++
+		c.state = Idle
+		return makeStatus(false, c.busy(), false, false, false, 0, errBits)
+	}
+
+	// Dispatch: straight to the engine if it is free and nothing is
+	// queued ahead; otherwise queue (if allowed and roomy).
+	switch {
+	case !c.engine.Busy() && len(c.userQ) == 0 && len(c.sysQ) == 0:
+		if err := c.engine.Start(req.src, req.dst, req.count); err != nil {
+			// Validated above; an engine rejection here is a hardware
+			// design bug, not a user error.
+			panic(fmt.Sprintf("core: engine rejected validated transfer: %v", err))
+		}
+		c.inflight = req
+		c.hasInflight = true
+		c.ref(req)
+	case c.cfg.QueueDepth > 0 && len(c.userQ) < c.cfg.QueueDepth:
+		c.userQ = append(c.userQ, req)
+		if len(c.userQ) > c.stats.MaxQueueLen {
+			c.stats.MaxQueueLen = len(c.userQ)
+		}
+		c.ref(req)
+	case c.cfg.QueueDepth > 0:
+		// Queue full: refuse, keep DestLoaded so the user can retry
+		// the LOAD alone once the queue drains.
+		c.stats.QueueFull++
+		return makeStatus(false, true, false, c.matchAny(pa), false, c.count, device.ErrQueueFull)
+	default:
+		// Basic machine busy: the Store half was accepted while idle
+		// but another initiation won; report busy, drop the latch.
+		c.stats.Busy++
+		c.state = Idle
+		return makeStatus(false, true, false, c.matchAny(pa), false, 0, 0)
+	}
+
+	c.stats.Initiations++
+	c.tracer.Record(trace.EvInitiation, uint64(req.src), uint64(req.dst),
+		fmt.Sprintf("%dB", req.count))
+	c.state = Idle // latch consumed; machine-level state is now derived
+	return makeStatus(true, true, false, false, false, req.count, 0)
+}
+
+// pollStatus builds the status word for a LOAD that does not initiate.
+func (c *Controller) pollStatus(pa addr.PAddr) Status {
+	busy := c.busy()
+	remaining := 0
+	if busy {
+		remaining = c.engine.Remaining()
+		for _, r := range c.userQ {
+			remaining += r.count
+		}
+		for _, r := range c.sysQ {
+			remaining += r.count
+		}
+	}
+	return makeStatus(false, busy, !busy && c.state == Idle, c.matchAny(pa), false, remaining, 0)
+}
+
+func (c *Controller) matchBit(pa addr.PAddr) Status {
+	if c.matchAny(pa) {
+		return statusMatch
+	}
+	return 0
+}
+
+// matchAny implements the MATCH flag: the referenced address equals the
+// base address of the in-progress transfer — or, with queueing, of any
+// queued transfer (waiting for the last transfer of a multi-page send
+// must keep matching until that page actually moves).
+func (c *Controller) matchAny(pa addr.PAddr) bool {
+	if c.hasInflight && c.inflight.base == pa {
+		return true
+	}
+	for _, r := range c.userQ {
+		if r.base == pa {
+			return true
+		}
+	}
+	for _, r := range c.sysQ {
+		if r.base == pa {
+			return true
+		}
+	}
+	return false
+}
+
+// makeRequest translates the latched destination and the loaded source
+// into bus addresses, clamps the count so the transfer crosses no page
+// boundary in either space (Section 4: "a basic UDMA transfer cannot
+// cross a page boundary"), and validates against the device.
+func (c *Controller) makeRequest(srcProxy addr.PAddr) (request, device.ErrBits) {
+	src := translateProxy(srcProxy)
+	dst := translateProxy(c.dest)
+
+	count := c.count
+	if room := addr.PageSize - int(addr.PPageOff(src)); count > room {
+		count = room
+	}
+	if room := addr.PageSize - int(addr.PPageOff(dst)); count > room {
+		count = room
+	}
+	if count <= 0 {
+		// A zero-byte request is meaningless; hardware reports bounds.
+		return request{}, device.ErrBounds
+	}
+
+	// Validate the device endpoint (exactly one endpoint is a device,
+	// or the engine would have nothing to do — BadLoad already filtered
+	// same-region pairs).
+	for _, end := range []struct {
+		a        addr.PAddr
+		toDevice bool
+	}{{dst, true}, {src, false}} {
+		if addr.RegionOf(end.a) != addr.RegionDevProxy {
+			continue
+		}
+		dev, da, ok := c.devmap.Resolve(end.a)
+		if !ok {
+			return request{}, device.ErrBounds
+		}
+		if bits := dev.CheckTransfer(da, count, end.toDevice); bits != 0 {
+			return request{}, bits
+		}
+	}
+	return request{src: src, dst: dst, count: count, base: srcProxy}, 0
+}
+
+// EnqueueSystem lets the kernel submit a transfer on the reserved
+// high-priority queue (the two-queue variant of Section 7). It returns
+// a ticket the kernel polls for completion, or nil if the system queue
+// is full or the variant is disabled.
+func (c *Controller) EnqueueSystem(src, dst addr.PAddr, count int) *SysTicket {
+	if c.cfg.SystemQueueDepth == 0 || len(c.sysQ) >= c.cfg.SystemQueueDepth {
+		return nil
+	}
+	req := request{src: src, dst: dst, count: count, base: 0, ticket: &SysTicket{}}
+	if !c.engine.Busy() && len(c.sysQ) == 0 {
+		if err := c.engine.Start(src, dst, count); err != nil {
+			return nil
+		}
+		c.inflight = req
+		c.hasInflight = true
+		c.ref(req)
+		return req.ticket
+	}
+	c.sysQ = append(c.sysQ, req)
+	c.ref(req)
+	return req.ticket
+}
+
+// SystemQueueAvailable reports whether the controller has the reserved
+// kernel queue (the kernel's DMA path checks this once at boot).
+func (c *Controller) SystemQueueAvailable() bool {
+	return c.cfg.SystemQueueDepth > 0
+}
+
+// onEngineDone pops the next request when a transfer finishes
+// (system queue first), returning the machine to Idle when drained.
+func (c *Controller) onEngineDone(err error) {
+	c.stats.Completions++
+	if c.hasInflight {
+		c.tracer.Record(trace.EvTransferDone, uint64(c.inflight.src), uint64(c.inflight.dst), "")
+		c.unref(c.inflight)
+		if t := c.inflight.ticket; t != nil {
+			t.Done = true
+			t.Err = err
+		}
+		c.hasInflight = false
+	}
+	_ = err // a failed transfer still frees the engine for the next one
+
+	var next request
+	switch {
+	case len(c.sysQ) > 0:
+		next = c.sysQ[0]
+		c.sysQ = c.sysQ[1:]
+	case len(c.userQ) > 0:
+		next = c.userQ[0]
+		c.userQ = c.userQ[1:]
+	default:
+		return
+	}
+	if startErr := c.engine.Start(next.src, next.dst, next.count); startErr != nil {
+		// The queued request was validated at enqueue time; the only
+		// way to get here is a hardware bug.
+		panic(fmt.Sprintf("core: queued transfer rejected by engine: %v", startErr))
+	}
+	c.inflight = next
+	c.hasInflight = true
+}
+
+// Terminate aborts the in-flight transfer (if any) and discards every
+// queued request, returning the machine to Idle. The paper notes the
+// basic design lacks this but that "it is not hard to imagine adding
+// one. This could be useful for dealing with memory system errors that
+// the DMA hardware cannot handle transparently." The kernel invokes it
+// from its machine-check path; it is not reachable from user proxy
+// references. It returns how many transfers (in flight + queued) were
+// discarded.
+func (c *Controller) Terminate() int {
+	n := 0
+	if c.engine.Busy() {
+		c.engine.Abort()
+		n++
+	}
+	// Abort suppresses the completion interrupt, so release the
+	// in-flight refcounts (and fail any ticket) here.
+	if c.hasInflight {
+		c.unref(c.inflight)
+		c.failTicket(c.inflight)
+		c.hasInflight = false
+	}
+	for _, r := range c.userQ {
+		c.unref(r)
+		n++
+	}
+	c.userQ = c.userQ[:0]
+	for _, r := range c.sysQ {
+		c.unref(r)
+		c.failTicket(r)
+		n++
+	}
+	c.sysQ = c.sysQ[:0]
+	c.state = Idle
+	c.stats.Terminations++
+	c.tracer.Record(trace.EvTerminate, uint64(n), 0, "")
+	return n
+}
+
+// --- invariant I4 support -------------------------------------------------
+
+// PageInUse is the kernel's associative query: does any in-flight or
+// queued transfer touch physical memory frame pfn? The kernel must not
+// remap a frame while this is true (invariant I4).
+func (c *Controller) PageInUse(pfn uint32) bool {
+	return c.pageRefs[pfn] > 0
+}
+
+// Registers returns the engine's SOURCE and DESTINATION registers and
+// whether a transfer is in flight — the register peek the basic (queue-
+// less) kernel check reads.
+func (c *Controller) Registers() (src, dst addr.PAddr, busy bool) {
+	return c.engine.Source(), c.engine.Destination(), c.engine.Busy()
+}
+
+// DestLoadedFrame returns the physical frame latched in the DESTINATION
+// register while in the DestLoaded state, and whether the latch is
+// occupied. The kernel may Inval to clear it (Section 6, I4: "If the
+// hardware is in the DestLoaded state, the kernel may also cause an
+// Inval event in order to clear the DESTINATION register").
+func (c *Controller) DestLoadedFrame() (pfn uint32, ok bool) {
+	if c.state != DestLoaded {
+		return 0, false
+	}
+	d := translateProxy(c.dest)
+	if addr.RegionOf(d) != addr.RegionMemory {
+		return 0, false
+	}
+	return addr.PFN(d), true
+}
+
+func (c *Controller) failTicket(r request) {
+	if r.ticket != nil {
+		r.ticket.Done = true
+		r.ticket.Err = fmt.Errorf("core: transfer terminated")
+	}
+}
+
+func (c *Controller) ref(r request) {
+	for _, a := range []addr.PAddr{r.src, r.dst} {
+		if addr.RegionOf(a) == addr.RegionMemory {
+			c.pageRefs[addr.PFN(a)]++
+		}
+	}
+}
+
+func (c *Controller) unref(r request) {
+	for _, a := range []addr.PAddr{r.src, r.dst} {
+		if addr.RegionOf(a) == addr.RegionMemory {
+			pfn := addr.PFN(a)
+			if c.pageRefs[pfn] <= 0 {
+				panic(fmt.Sprintf("core: page refcount underflow on frame %d", pfn))
+			}
+			c.pageRefs[pfn]--
+			if c.pageRefs[pfn] == 0 {
+				delete(c.pageRefs, pfn)
+			}
+		}
+	}
+}
+
+// translateProxy applies PROXY⁻¹ to memory-proxy addresses and passes
+// device-proxy addresses through (they are the device's bus addresses).
+func translateProxy(pa addr.PAddr) addr.PAddr {
+	switch addr.RegionOf(pa) {
+	case addr.RegionMemProxy:
+		return addr.Unproxy(pa)
+	case addr.RegionDevProxy:
+		return pa
+	default:
+		panic(fmt.Sprintf("core: translateProxy of non-proxy address %#x", uint32(pa)))
+	}
+}
+
+func mustProxy(pa addr.PAddr, op string) {
+	if !addr.RegionOf(pa).IsProxy() {
+		panic(fmt.Sprintf("core: %s routed non-proxy address %#x to UDMA", op, uint32(pa)))
+	}
+}

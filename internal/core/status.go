@@ -1,0 +1,159 @@
+// Package core implements the paper's primary contribution: the UDMA
+// hardware extension that lets a user process initiate a protected DMA
+// transfer with two ordinary memory references,
+//
+//	STORE nbytes TO PROXY(destAddr)
+//	LOAD  status FROM PROXY(srcAddr)
+//
+// The controller sits between the CPU and the standard DMA engine
+// (paper Figure 4). Physical accesses that decode into the memory-proxy
+// or device-proxy regions are routed here by the machine; everything
+// the controller sees has already passed MMU translation and permission
+// checking, which is precisely how UDMA gets protection for free.
+//
+// The package provides the transfer-initiation state machine of Figure
+// 5 (Idle / DestLoaded / Transferring with Store, Load, Inval and
+// BadLoad events), the status word returned by every proxy LOAD, the
+// PROXY⁻¹ physical address translation, and the multi-page request
+// queue of Section 7 (including the per-page reference counts the
+// kernel's invariant I4 queries, and the two-priority-queue variant the
+// paper suggests).
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"shrimp/internal/device"
+)
+
+// Status is the word returned by every LOAD from proxy space. The bit
+// layout follows the paper's field list (Section 5, "Status Returned by
+// Proxy LOADs"):
+//
+//	bit 0    INITIATION flag   — zero iff this LOAD started a transfer
+//	bit 1    TRANSFERRING flag — engine busy (or queue non-empty)
+//	bit 2    INVALID flag      — machine in the Idle state
+//	bit 3    MATCH flag        — transferring and address == transfer base
+//	bit 4    WRONG-SPACE flag  — this access was a BadLoad
+//	bits 5–17  REMAINING-BYTES — bytes left if DestLoaded/Transferring
+//	bits 18–31 device-specific error bits (device.ErrBits)
+type Status uint32
+
+const (
+	statusInitiation   Status = 1 << 0
+	statusTransferring Status = 1 << 1
+	statusInvalid      Status = 1 << 2
+	statusMatch        Status = 1 << 3
+	statusWrongSpace   Status = 1 << 4
+
+	remainingShift = 5
+	remainingBits  = 13
+	remainingMax   = 1<<remainingBits - 1 // 8191: holds a full 4 KB page count
+	remainingMask  = Status(remainingMax) << remainingShift
+
+	deviceErrShift = remainingShift + remainingBits // 18
+)
+
+// Initiated reports whether the LOAD that returned this status started
+// (or, with queueing, enqueued) a transfer. Per the paper the
+// INITIATION flag is *zero* on success.
+func (s Status) Initiated() bool { return s&statusInitiation == 0 }
+
+// Transferring reports the TRANSFERRING flag.
+func (s Status) Transferring() bool { return s&statusTransferring != 0 }
+
+// Invalid reports the INVALID flag (the machine was in the Idle state,
+// i.e. no STORE half of an initiation sequence was pending).
+func (s Status) Invalid() bool { return s&statusInvalid != 0 }
+
+// Match reports the MATCH flag: a transfer whose base address equals
+// the loaded address is still in progress. The completion idiom is to
+// repeat the initiating LOAD until Match is false.
+func (s Status) Match() bool { return s&statusMatch != 0 }
+
+// WrongSpace reports the WRONG-SPACE flag: the access was a BadLoad,
+// i.e. it asked for a memory-to-memory or device-to-device transfer.
+func (s Status) WrongSpace() bool { return s&statusWrongSpace != 0 }
+
+// Remaining returns the REMAINING-BYTES field.
+func (s Status) Remaining() int {
+	return int(s>>remainingShift) & remainingMax
+}
+
+// DeviceErr returns the device-specific error bits.
+func (s Status) DeviceErr() device.ErrBits {
+	return device.ErrBits(s >> deviceErrShift)
+}
+
+// Failed reports whether a "real error" occurred (the paper: "If other
+// error bits are set, a real error has occurred"), as opposed to a
+// retryable busy/invalid condition.
+func (s Status) Failed() bool {
+	return s.WrongSpace() || s.DeviceErr() != 0
+}
+
+// Retryable reports whether the user library should simply retry the
+// two-instruction sequence: the initiation failed only because the
+// machine was busy or had been Inval'd (e.g. by a context switch).
+func (s Status) Retryable() bool {
+	return !s.Initiated() && !s.Failed()
+}
+
+func makeStatus(initiated, transferring, invalid, match, wrongSpace bool, remaining int, dev device.ErrBits) Status {
+	var s Status
+	if !initiated {
+		s |= statusInitiation
+	}
+	if transferring {
+		s |= statusTransferring
+	}
+	if invalid {
+		s |= statusInvalid
+	}
+	if match {
+		s |= statusMatch
+	}
+	if wrongSpace {
+		s |= statusWrongSpace
+	}
+	if remaining < 0 {
+		remaining = 0
+	}
+	if remaining > remainingMax {
+		remaining = remainingMax
+	}
+	s |= Status(remaining) << remainingShift
+	s |= Status(dev) << deviceErrShift
+	return s
+}
+
+// String renders the status for traces and error messages.
+func (s Status) String() string {
+	var parts []string
+	if s.Initiated() {
+		parts = append(parts, "initiated")
+	}
+	if s.Transferring() {
+		parts = append(parts, "transferring")
+	}
+	if s.Invalid() {
+		parts = append(parts, "invalid")
+	}
+	if s.Match() {
+		parts = append(parts, "match")
+	}
+	if s.WrongSpace() {
+		parts = append(parts, "wrong-space")
+	}
+	if r := s.Remaining(); r > 0 {
+		parts = append(parts, fmt.Sprintf("remaining=%d", r))
+	}
+	if e := s.DeviceErr(); e != 0 {
+		parts = append(parts, fmt.Sprintf("deverr=%#x", uint32(e)))
+	}
+	if len(parts) == 0 {
+		parts = append(parts, "none")
+	}
+	return "status(" + strings.Join(parts, ",") + ")"
+}

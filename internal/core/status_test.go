@@ -1,0 +1,106 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"shrimp/internal/device"
+)
+
+func TestStatusFlagRoundTrip(t *testing.T) {
+	prop := func(initiated, transferring, invalid, match, wrong bool, rem16 uint16, dev8 uint8) bool {
+		rem := int(rem16) % (remainingMax + 1)
+		dev := device.ErrBits(dev8)
+		s := makeStatus(initiated, transferring, invalid, match, wrong, rem, dev)
+		return s.Initiated() == initiated &&
+			s.Transferring() == transferring &&
+			s.Invalid() == invalid &&
+			s.Match() == match &&
+			s.WrongSpace() == wrong &&
+			s.Remaining() == rem &&
+			s.DeviceErr() == dev
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInitiationFlagIsZeroOnSuccess(t *testing.T) {
+	// The paper defines the INITIATION flag as "zero if the access
+	// started a DMA transfer" — the raw bit must be 0 on success.
+	s := makeStatus(true, true, false, false, false, 100, 0)
+	if uint32(s)&1 != 0 {
+		t.Fatalf("initiation bit = %d on success, want 0", uint32(s)&1)
+	}
+	s = makeStatus(false, false, true, false, false, 0, 0)
+	if uint32(s)&1 != 1 {
+		t.Fatal("initiation bit not set on failure")
+	}
+}
+
+func TestRemainingClamped(t *testing.T) {
+	s := makeStatus(false, true, false, false, false, 1<<20, 0)
+	if s.Remaining() != remainingMax {
+		t.Fatalf("Remaining = %d, want clamp to %d", s.Remaining(), remainingMax)
+	}
+	s = makeStatus(false, true, false, false, false, -5, 0)
+	if s.Remaining() != 0 {
+		t.Fatalf("negative remaining encoded as %d", s.Remaining())
+	}
+}
+
+func TestRemainingHoldsFullPage(t *testing.T) {
+	s := makeStatus(true, true, false, false, false, 4096, 0)
+	if s.Remaining() != 4096 {
+		t.Fatalf("Remaining = %d, want 4096", s.Remaining())
+	}
+}
+
+func TestFailedAndRetryable(t *testing.T) {
+	cases := []struct {
+		name      string
+		s         Status
+		failed    bool
+		retryable bool
+	}{
+		{"success", makeStatus(true, true, false, false, false, 64, 0), false, false},
+		{"busy", makeStatus(false, true, false, false, false, 0, 0), false, true},
+		{"idle/invalid", makeStatus(false, false, true, false, false, 0, 0), false, true},
+		{"wrong space", makeStatus(false, false, false, false, true, 0, 0), true, false},
+		{"device error", makeStatus(false, false, false, false, false, 0, device.ErrAlignment), true, false},
+		{"queue full", makeStatus(false, true, false, false, false, 0, device.ErrQueueFull), true, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.s.Failed() != tc.failed {
+				t.Errorf("Failed() = %v, want %v", tc.s.Failed(), tc.failed)
+			}
+			if tc.s.Retryable() != tc.retryable {
+				t.Errorf("Retryable() = %v, want %v", tc.s.Retryable(), tc.retryable)
+			}
+		})
+	}
+}
+
+func TestDeviceErrBitsPreserved(t *testing.T) {
+	all := device.ErrAlignment | device.ErrBounds | device.ErrInvalidEntry |
+		device.ErrReadOnly | device.ErrQueueFull
+	s := makeStatus(false, false, false, false, false, 0, all)
+	if s.DeviceErr() != all {
+		t.Fatalf("DeviceErr = %#x, want %#x", uint32(s.DeviceErr()), uint32(all))
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	s := makeStatus(true, true, false, false, false, 128, 0)
+	str := s.String()
+	for _, want := range []string{"initiated", "transferring", "remaining=128"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("String() = %q missing %q", str, want)
+		}
+	}
+	if got := Status(1).String(); !strings.Contains(got, "none") && len(got) == 0 {
+		t.Errorf("empty status String() = %q", got)
+	}
+}

@@ -1,0 +1,106 @@
+package device
+
+import (
+	"testing"
+
+	"shrimp/internal/sim"
+)
+
+func audioRig(ringBytes int, rate float64) (*Audio, *sim.Clock) {
+	clock := sim.NewClock()
+	costs := &sim.CostModel{CPUHz: 60e6, DMABytesPerCyc: 1, LinkBytesPerCyc: 1}
+	return NewAudio("dac0", ringBytes, rate, clock, costs), clock
+}
+
+func TestAudioConsumesAtRate(t *testing.T) {
+	// 6 MB/s at 60 MHz = 0.1 bytes/cycle.
+	a, clock := audioRig(4096, 6e6)
+	a.Write(DevAddr{}, make([]byte, 1000), 0)
+	if a.Fill() != 1000 {
+		t.Fatalf("fill = %d", a.Fill())
+	}
+	clock.Advance(5000) // 500 bytes consumed
+	if got := a.Fill(); got != 500 {
+		t.Fatalf("fill after 5000 cycles = %d, want 500", got)
+	}
+	consumed, underruns, _ := a.Stats()
+	if consumed != 500 || underruns != 0 {
+		t.Fatalf("stats = %d consumed, %d underruns", consumed, underruns)
+	}
+}
+
+func TestAudioUnderrunDetected(t *testing.T) {
+	a, clock := audioRig(4096, 6e6)
+	a.Write(DevAddr{}, make([]byte, 300), 0)
+	clock.Advance(10_000) // wants 1000 bytes, has 300
+	_, underruns, _ := a.Stats()
+	if underruns != 1 {
+		t.Fatalf("underruns = %d, want 1", underruns)
+	}
+	// Refill: playback resumes without further underruns.
+	a.Write(DevAddr{}, make([]byte, 2000), 0)
+	clock.Advance(5000)
+	_, underruns, _ = a.Stats()
+	if underruns != 1 {
+		t.Fatalf("underruns after refill = %d, want still 1", underruns)
+	}
+}
+
+func TestAudioNoUnderrunBeforeFirstPlayback(t *testing.T) {
+	a, clock := audioRig(4096, 6e6)
+	clock.Advance(100_000) // silence before anything was queued
+	if _, underruns, _ := a.Stats(); underruns != 0 {
+		t.Fatalf("underruns with nothing ever queued = %d", underruns)
+	}
+}
+
+func TestAudioRingOverflowDrops(t *testing.T) {
+	a, _ := audioRig(1024, 6e6)
+	a.Write(DevAddr{}, make([]byte, 800), 0)
+	a.Write(DevAddr{}, make([]byte, 800), 0) // only 224 fit
+	if a.Fill() != 1024 {
+		t.Fatalf("fill = %d, want ring capacity", a.Fill())
+	}
+}
+
+func TestAudioCheckTransfer(t *testing.T) {
+	a, _ := audioRig(4096, 6e6)
+	if bits := a.CheckTransfer(DevAddr{0, 0}, 256, true); bits != 0 {
+		t.Fatalf("valid write rejected: %#x", uint32(bits))
+	}
+	if bits := a.CheckTransfer(DevAddr{0, 0}, 256, false); bits&ErrReadOnly == 0 {
+		t.Fatal("device→memory accepted on playback hardware")
+	}
+	if bits := a.CheckTransfer(DevAddr{0, 2}, 256, true); bits&ErrAlignment == 0 {
+		t.Fatal("misaligned write accepted")
+	}
+	if bits := a.CheckTransfer(DevAddr{0, 0}, 8192, true); bits&ErrBounds == 0 {
+		t.Fatal("oversized write accepted")
+	}
+	if _, err := a.Read(DevAddr{}, 4, 0); err == nil {
+		t.Fatal("Read succeeded on playback device")
+	}
+	if a.Pages() != 1 {
+		t.Fatalf("Pages = %d", a.Pages())
+	}
+}
+
+func TestAudioConstructorValidation(t *testing.T) {
+	clock := sim.NewClock()
+	costs := &sim.CostModel{CPUHz: 60e6, DMABytesPerCyc: 1, LinkBytesPerCyc: 1}
+	for name, fn := range map[string]func(){
+		"zero ring": func() { NewAudio("x", 0, 1e6, clock, costs) },
+		"odd ring":  func() { NewAudio("x", 1001, 1e6, clock, costs) },
+		"zero rate": func() { NewAudio("x", 1024, 0, clock, costs) },
+		"nil clock": func() { NewAudio("x", 1024, 1e6, nil, costs) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

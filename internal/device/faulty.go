@@ -1,0 +1,84 @@
+package device
+
+import (
+	"errors"
+
+	"shrimp/internal/sim"
+)
+
+// ErrInjected is the error a Faulty device returns when a scheduled
+// fault fires.
+var ErrInjected = errors.New("device: injected fault")
+
+// Faulty wraps another device and injects failures for testing the
+// error paths: validation rejections (CheckTransfer bits) and
+// completion-time failures (Write/Read errors, which surface as a
+// failed transfer on the engine's completion interrupt — the "memory
+// system errors" the paper's termination discussion worries about).
+type Faulty struct {
+	Inner Device
+
+	// RejectNext makes the next n CheckTransfer calls report RejectBits.
+	RejectNext int
+	// RejectBits is the validation failure to report (default
+	// ErrBounds if zero while RejectNext > 0).
+	RejectBits ErrBits
+	// FailNext makes the next n Write/Read calls fail at completion.
+	FailNext int
+
+	rejected uint64
+	failed   uint64
+}
+
+// NewFaulty wraps a device.
+func NewFaulty(inner Device) *Faulty { return &Faulty{Inner: inner} }
+
+// Name implements Device.
+func (f *Faulty) Name() string { return f.Inner.Name() + "+faulty" }
+
+// Pages implements Device.
+func (f *Faulty) Pages() uint32 { return f.Inner.Pages() }
+
+// CheckTransfer implements Device.
+func (f *Faulty) CheckTransfer(da DevAddr, n int, toDevice bool) ErrBits {
+	if f.RejectNext > 0 {
+		f.RejectNext--
+		f.rejected++
+		bits := f.RejectBits
+		if bits == 0 {
+			bits = ErrBounds
+		}
+		return bits
+	}
+	return f.Inner.CheckTransfer(da, n, toDevice)
+}
+
+// TransferLatency implements Device.
+func (f *Faulty) TransferLatency(da DevAddr, n int) sim.Cycles {
+	return f.Inner.TransferLatency(da, n)
+}
+
+// Write implements Device.
+func (f *Faulty) Write(da DevAddr, data []byte, now sim.Cycles) error {
+	if f.FailNext > 0 {
+		f.FailNext--
+		f.failed++
+		return ErrInjected
+	}
+	return f.Inner.Write(da, data, now)
+}
+
+// Read implements Device.
+func (f *Faulty) Read(da DevAddr, n int, now sim.Cycles) ([]byte, error) {
+	if f.FailNext > 0 {
+		f.FailNext--
+		f.failed++
+		return nil, ErrInjected
+	}
+	return f.Inner.Read(da, n, now)
+}
+
+// Injected returns how many rejections and completion failures fired.
+func (f *Faulty) Injected() (rejected, failed uint64) { return f.rejected, f.failed }
+
+var _ Device = (*Faulty)(nil)

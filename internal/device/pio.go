@@ -1,0 +1,25 @@
+package device
+
+// PIODevice is a device exposing a programmed-I/O register window in
+// addition to (or instead of) DMA. The memory-mapped-FIFO network
+// interfaces the paper compares against in Section 9 work this way:
+// "the host processor communicates with the network interface by
+// reading or writing special memory locations that correspond to the
+// FIFOs."
+//
+// The kernel routes user accesses to pages inside the PIO window
+// straight to the device (each costing a bus word transaction) instead
+// of to the UDMA controller.
+type PIODevice interface {
+	Device
+
+	// PIOWindow returns the device-relative page range decoded as PIO
+	// registers, or ok=false if the window is disabled.
+	PIOWindow() (first, n uint32, ok bool)
+
+	// PIOStore handles a 32-bit store into the window.
+	PIOStore(da DevAddr, v uint32)
+
+	// PIOLoad handles a 32-bit load from the window.
+	PIOLoad(da DevAddr) uint32
+}

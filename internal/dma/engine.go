@@ -1,0 +1,216 @@
+// Package dma implements the traditional DMA engine of the paper's
+// Figure 1: SOURCE, DESTINATION and COUNT registers, a transfer state
+// machine that streams data across the I/O bus in burst mode, and a
+// completion interrupt. It is used two ways:
+//
+//   - directly by the kernel's traditional-DMA syscall path (the
+//     baseline the paper argues against), and
+//   - as the standard engine underneath the UDMA extension in
+//     internal/core (paper Figure 4: "the additional hardware is
+//     situated between the standard DMA engine and the CPU").
+package dma
+
+import (
+	"fmt"
+
+	"shrimp/internal/addr"
+	"shrimp/internal/bus"
+	"shrimp/internal/device"
+	"shrimp/internal/mem"
+	"shrimp/internal/sim"
+)
+
+// Direction of a transfer relative to memory.
+type Direction int
+
+const (
+	MemToDev Direction = iota
+	DevToMem
+)
+
+func (d Direction) String() string {
+	if d == DevToMem {
+		return "dev→mem"
+	}
+	return "mem→dev"
+}
+
+// Engine is one traditional DMA engine. Exactly one transfer is in
+// flight at a time; Start while busy is rejected (the UDMA layer and
+// the kernel both check Busy first, but hardware refuses regardless).
+type Engine struct {
+	clock  *sim.Clock
+	costs  *sim.CostModel
+	iobus  *bus.Bus
+	ram    *mem.Physical
+	devmap *device.Map
+
+	// Architectural registers, readable by the kernel for invariant I4.
+	src, dst addr.PAddr
+	count    int
+
+	busy      bool
+	dir       Direction
+	startAt   sim.Cycles
+	doneAt    sim.Cycles
+	doneEvent *sim.Event
+
+	// onComplete is the interrupt line: every registered listener fires
+	// at completion time (UDMA state machine, kernel interrupt handler).
+	onComplete []func(err error)
+
+	transfers uint64
+	bytes     uint64
+}
+
+// New wires an engine to its node's clock, bus, RAM and device map.
+func New(clock *sim.Clock, costs *sim.CostModel, iobus *bus.Bus, ram *mem.Physical, devmap *device.Map) *Engine {
+	if clock == nil || costs == nil || iobus == nil || ram == nil || devmap == nil {
+		panic("dma: New requires non-nil dependencies")
+	}
+	return &Engine{clock: clock, costs: costs, iobus: iobus, ram: ram, devmap: devmap}
+}
+
+// OnComplete registers an interrupt listener invoked (in registration
+// order) when each transfer finishes. The error is non-nil if the
+// transfer aborted (bus error, device rejection).
+func (e *Engine) OnComplete(fn func(err error)) {
+	e.onComplete = append(e.onComplete, fn)
+}
+
+// Busy reports whether a transfer is in flight.
+func (e *Engine) Busy() bool { return e.busy }
+
+// Source returns the SOURCE register (valid while busy; kernels read it
+// for invariant I4's remap check).
+func (e *Engine) Source() addr.PAddr { return e.src }
+
+// Destination returns the DESTINATION register.
+func (e *Engine) Destination() addr.PAddr { return e.dst }
+
+// Count returns the COUNT register as programmed.
+func (e *Engine) Count() int { return e.count }
+
+// Remaining estimates the bytes not yet transferred at the current
+// time, interpolating linearly over the burst (this feeds the
+// REMAINING-BYTES field of the UDMA status word). Zero when idle.
+func (e *Engine) Remaining() int {
+	if !e.busy {
+		return 0
+	}
+	now := e.clock.Now()
+	if now >= e.doneAt {
+		return 0
+	}
+	if now <= e.startAt {
+		return e.count
+	}
+	total := float64(e.doneAt - e.startAt)
+	left := float64(e.doneAt-now) / total
+	return int(float64(e.count) * left)
+}
+
+// DoneAt returns the completion time of the in-flight transfer (valid
+// while busy).
+func (e *Engine) DoneAt() sim.Cycles { return e.doneAt }
+
+// Stats returns the number of completed transfers and bytes moved.
+func (e *Engine) Stats() (transfers, bytes uint64) { return e.transfers, e.bytes }
+
+// Start programs the registers and begins a transfer. Exactly one of
+// src/dst must be a real-memory address and the other a device-proxy
+// address; the direction is inferred. The transfer occupies the I/O
+// bus in burst mode and completes asynchronously: data moves and the
+// completion interrupt fires when the simulated clock reaches the
+// transfer's end time.
+//
+// Start validates against the device (alignment, bounds) before
+// accepting; a rejected transfer leaves the engine idle.
+func (e *Engine) Start(src, dst addr.PAddr, count int) error {
+	if e.busy {
+		return fmt.Errorf("dma: engine busy until cycle %d", e.doneAt)
+	}
+	if count <= 0 {
+		return fmt.Errorf("dma: byte count %d must be positive", count)
+	}
+
+	srcR, dstR := addr.RegionOf(src), addr.RegionOf(dst)
+	var dir Direction
+	switch {
+	case srcR == addr.RegionMemory && dstR == addr.RegionDevProxy:
+		dir = MemToDev
+	case srcR == addr.RegionDevProxy && dstR == addr.RegionMemory:
+		dir = DevToMem
+	default:
+		return fmt.Errorf("dma: unsupported transfer %s → %s", srcR, dstR)
+	}
+
+	memA, devA := src, dst
+	if dir == DevToMem {
+		memA, devA = dst, src
+	}
+	if !e.ram.Contains(memA, count) {
+		return fmt.Errorf("dma: memory range [%#x,+%d) outside RAM", uint32(memA), count)
+	}
+	dev, da, ok := e.devmap.Resolve(devA)
+	if !ok {
+		return fmt.Errorf("dma: no device decodes %#x", uint32(devA))
+	}
+	if bits := dev.CheckTransfer(da, count, dir == MemToDev); bits != 0 {
+		return fmt.Errorf("dma: device %s rejected transfer: error bits %#x", dev.Name(), uint32(bits))
+	}
+
+	e.src, e.dst, e.count, e.dir = src, dst, count, dir
+	e.busy = true
+
+	devLat := dev.TransferLatency(da, count)
+	start, end := e.iobus.ReserveBurst(e.clock.Now(), count)
+	e.startAt = start
+	e.doneAt = end + devLat
+
+	e.doneEvent = e.clock.Schedule(e.doneAt, "dma-complete", func() {
+		e.complete(dev, da, dir, memA, count)
+	})
+	return nil
+}
+
+// complete moves the data and fires the interrupt. Runs at doneAt.
+func (e *Engine) complete(dev device.Device, da device.DevAddr, dir Direction, memA addr.PAddr, count int) {
+	var err error
+	switch dir {
+	case MemToDev:
+		var data []byte
+		data, err = e.ram.Read(memA, count)
+		if err == nil {
+			err = dev.Write(da, data, e.clock.Now())
+		}
+	case DevToMem:
+		var data []byte
+		data, err = dev.Read(da, count, e.clock.Now())
+		if err == nil {
+			err = e.ram.Write(memA, data)
+		}
+	}
+	e.busy = false
+	e.doneEvent = nil
+	if err == nil {
+		e.transfers++
+		e.bytes += uint64(count)
+	}
+	for _, fn := range e.onComplete {
+		fn(err)
+	}
+}
+
+// Abort cancels an in-flight transfer without moving data or firing the
+// completion interrupt. The paper notes a termination mechanism "could
+// be useful for dealing with memory system errors"; the kernel also
+// uses it in fault-injection tests.
+func (e *Engine) Abort() {
+	if !e.busy {
+		return
+	}
+	e.clock.Cancel(e.doneEvent)
+	e.doneEvent = nil
+	e.busy = false
+}

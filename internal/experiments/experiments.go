@@ -1,0 +1,121 @@
+// Package experiments contains one driver per table/figure reproduced
+// from the paper (the E1–E10 index in DESIGN.md). Each driver builds
+// the machines it needs, runs the workload, and returns a Result whose
+// tables and series are what cmd/udmabench prints and whose Checks
+// assert the paper's qualitative shape (who wins, where the knees are).
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"shrimp/internal/kernel"
+	"shrimp/internal/machine"
+	"shrimp/internal/sim"
+	"shrimp/internal/stats"
+)
+
+// Check is one shape assertion against the paper.
+type Check struct {
+	Name   string
+	Pass   bool
+	Detail string
+}
+
+// Result is an experiment's output.
+type Result struct {
+	ID     string
+	Title  string
+	Paper  string // what the paper reports, quoted for the reader
+	Tables []*stats.Table
+	Series []*stats.Series
+	Checks []Check
+	Notes  []string
+}
+
+func (r *Result) check(name string, pass bool, format string, args ...any) {
+	r.Checks = append(r.Checks, Check{Name: name, Pass: pass, Detail: fmt.Sprintf(format, args...)})
+}
+
+// Passed reports whether every check passed.
+func (r *Result) Passed() bool {
+	for _, c := range r.Checks {
+		if !c.Pass {
+			return false
+		}
+	}
+	return true
+}
+
+// Runner produces a Result.
+type Runner func() (*Result, error)
+
+var registry = map[string]struct {
+	title string
+	run   Runner
+}{
+	"e1":  {"Figure 8: deliberate-update bandwidth vs message size", RunFig8},
+	"e2":  {"Section 8: UDMA transfer initiation cost (≈2.8 µs)", RunInitiationCost},
+	"e3":  {"Section 1: traditional DMA overhead on a HIPPI-class channel", RunHIPPIOverhead},
+	"e4":  {"Sections 2–3: initiation cost breakdown, kernel DMA vs UDMA", RunInitiationComparison},
+	"e5":  {"Section 9: memory-mapped FIFO (PIO) vs UDMA", RunPIOvsUDMA},
+	"e6":  {"Section 7: multi-page transfers with hardware queueing", RunQueueing},
+	"e7":  {"Section 6 (I1): context-switch Inval under device sharing", RunContextSwitch},
+	"e8":  {"Section 6 (I4): page pinning vs UDMA remap guard under paging", RunPinningVsGuard},
+	"e9":  {"Section 8: NIPT translation and capacity", RunNIPT},
+	"e10": {"Section 8: four-node prototype, aggregate bandwidth", RunPrototype},
+	"e11": {"Extension: automatic update vs deliberate update", RunAutoVsDeliberate},
+}
+
+// IDs returns the registered experiment ids in order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if len(ids[i]) != len(ids[j]) {
+			return len(ids[i]) < len(ids[j])
+		}
+		return ids[i] < ids[j]
+	})
+	return ids
+}
+
+// Title returns an experiment's one-line description.
+func Title(id string) (string, bool) {
+	e, ok := registry[id]
+	return e.title, ok
+}
+
+// Run executes one experiment by id.
+func Run(id string) (*Result, error) {
+	e, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown id %q (have %v)", id, IDs())
+	}
+	return e.run()
+}
+
+// --- shared helpers ---------------------------------------------------------
+
+// runOn spawns fn as the only process on the node and drives the
+// kernel to completion, shutting the node down afterward.
+func runOn(n *machine.Node, name string, fn func(p *kernel.Proc) error) error {
+	var procErr error
+	n.Kernel.Spawn(name, func(p *kernel.Proc) {
+		procErr = fn(p)
+	})
+	if err := n.Kernel.Run(sim.Forever); err != nil {
+		return fmt.Errorf("experiments: kernel run: %w", err)
+	}
+	return procErr
+}
+
+// mbps converts (bytes, cycles) into MB/s under the given cost model.
+func mbps(costs *sim.CostModel, bytes int, cycles sim.Cycles) float64 {
+	if cycles == 0 {
+		return 0
+	}
+	return float64(bytes) / costs.Seconds(cycles) / 1e6
+}

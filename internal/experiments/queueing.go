@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"fmt"
+
+	"shrimp/internal/addr"
+	"shrimp/internal/core"
+	"shrimp/internal/device"
+	"shrimp/internal/kernel"
+	"shrimp/internal/machine"
+	"shrimp/internal/sim"
+	"shrimp/internal/stats"
+	"shrimp/internal/udmalib"
+	"shrimp/internal/workload"
+)
+
+// RunQueueing reproduces Section 7: hardware request queueing "allows a
+// user-level process to start multi-page transfers with only two
+// instructions per page in the best case. If the source and destination
+// addresses are not aligned to the same offset on their respective
+// pages, two transfers per page are needed." We sweep message size and
+// queue depth, plus the misalignment ablation.
+func RunQueueing() (*Result, error) {
+	res := &Result{
+		ID:    "e6",
+		Title: "Multi-page transfers with hardware queueing",
+		Paper: "queueing: 2 instructions/page; misaligned transfers need 2 transfers/page",
+	}
+
+	depths := []int{0, 2, 8, 32}
+	tbl := stats.NewTable("Multi-page send time (µs) by queue depth",
+		append([]string{"message"}, func() []string {
+			out := make([]string, len(depths))
+			for i, d := range depths {
+				if d == 0 {
+					out[i] = "serial (no queue)"
+				} else {
+					out[i] = fmt.Sprintf("depth %d", d)
+				}
+			}
+			return out
+		}()...)...)
+
+	series := &stats.Series{Name: "queued send speedup over serial", XLabel: "message size (bytes)", YLabel: "speedup"}
+	var speedup64K float64
+	for _, size := range workload.MultiPageSizes() {
+		row := []string{stats.Bytes(size)}
+		var serialUS float64
+		for _, depth := range depths {
+			us, err := queuedSendTime(size, depth, 0)
+			if err != nil {
+				return nil, fmt.Errorf("size %d depth %d: %w", size, depth, err)
+			}
+			row = append(row, fmt.Sprintf("%.0f", us))
+			if depth == 0 {
+				serialUS = us
+			}
+			if depth == 8 {
+				series.Add(float64(size), serialUS/us)
+				if size == 65536 {
+					speedup64K = serialUS / us
+				}
+			}
+		}
+		tbl.AddRow(row...)
+	}
+	res.Tables = append(res.Tables, tbl)
+	res.Series = append(res.Series, series)
+
+	// Misalignment ablation at 32 KB, depth 8.
+	aligned, err := queuedSendTime(32768, 8, 0)
+	if err != nil {
+		return nil, err
+	}
+	misaligned, err := queuedSendTime(32768, 8, 2048)
+	if err != nil {
+		return nil, err
+	}
+	mtbl := stats.NewTable("Alignment ablation (32 KB, queue depth 8)",
+		"source offset", "µs", "transfers")
+	alignedX, err := queuedSendTransfers(32768, 8, 0)
+	if err != nil {
+		return nil, err
+	}
+	misX, err := queuedSendTransfers(32768, 8, 2048)
+	if err != nil {
+		return nil, err
+	}
+	mtbl.AddRow("page-aligned", fmt.Sprintf("%.0f", aligned), fmt.Sprintf("%d", alignedX))
+	mtbl.AddRow("offset 2 KB", fmt.Sprintf("%.0f", misaligned), fmt.Sprintf("%d", misX))
+	res.Tables = append(res.Tables, mtbl)
+
+	res.check("queueing (depth 8) beats serial at 64 KB", speedup64K > 1.02,
+		"speedup %.2fx", speedup64K)
+	res.check("aligned uses 1 transfer/page", alignedX == 8, "%d transfers for 8 pages", alignedX)
+	res.check("misaligned uses ~2 transfers/page", misX >= 15 && misX <= 17,
+		"%d transfers for 8 pages (paper: two per page)", misX)
+	res.check("misaligned slower than aligned", misaligned > aligned,
+		"%.0f µs vs %.0f µs", misaligned, aligned)
+	return res, nil
+}
+
+func queuedSendRun(size, depth int, srcOff uint32) (sim.Cycles, udmalib.Stats, *sim.CostModel, error) {
+	n := machine.New(0, machine.Config{
+		RAMFrames: size/4096 + 64,
+		UDMA:      core.Config{QueueDepth: depth},
+	})
+	buf := device.NewBuffer("buf", uint32(size/4096+4), 4, 0)
+	n.AttachDevice(buf, 0)
+	defer n.Kernel.Shutdown()
+
+	var elapsed sim.Cycles
+	var libStats udmalib.Stats
+	err := runOn(n, "p", func(p *kernel.Proc) error {
+		d, err := udmalib.Open(p, buf, true)
+		if err != nil {
+			return err
+		}
+		va, err := p.Alloc(size + 4096)
+		if err != nil {
+			return err
+		}
+		if err := p.WriteBuf(va+addr.VAddr(srcOff), workload.Payload(size, 2)); err != nil {
+			return err
+		}
+		send := func() error {
+			if depth > 0 {
+				return d.QueuedSend(va+addr.VAddr(srcOff), 0, size)
+			}
+			return d.Send(va+addr.VAddr(srcOff), 0, size)
+		}
+		if err := send(); err != nil { // warm-up
+			return err
+		}
+		before := d.Stats()
+		start := p.Now()
+		if err := send(); err != nil {
+			return err
+		}
+		elapsed = p.Now() - start
+		after := d.Stats()
+		libStats = udmalib.Stats{
+			Initiations: after.Initiations - before.Initiations,
+			Retries:     after.Retries - before.Retries,
+		}
+		return nil
+	})
+	return elapsed, libStats, n.Costs, err
+}
+
+func queuedSendTime(size, depth int, srcOff uint32) (float64, error) {
+	cycles, _, costs, err := queuedSendRun(size, depth, srcOff)
+	if err != nil {
+		return 0, err
+	}
+	return costs.Micros(cycles), nil
+}
+
+func queuedSendTransfers(size, depth int, srcOff uint32) (uint64, error) {
+	_, st, _, err := queuedSendRun(size, depth, srcOff)
+	if err != nil {
+		return 0, err
+	}
+	return st.Initiations, nil
+}

@@ -1,0 +1,147 @@
+// Package interconnect models the Intel Paragon routing backplane that
+// connects SHRIMP nodes: a 2D mesh with per-hop routing latency,
+// per-link bandwidth, and in-order delivery between any pair of nodes.
+//
+// Each node simulates on its own clock (see DESIGN.md §6 and
+// internal/cluster): a packet launched at sender-time T arrives at the
+// receiver at max(receiver-now, T + flight time). Injection is
+// serialized per sender — one outgoing FIFO drains into the network at
+// link speed — which is what bounds back-to-back page sends.
+package interconnect
+
+import (
+	"fmt"
+	"math"
+
+	"shrimp/internal/addr"
+	"shrimp/internal/sim"
+)
+
+// Packet is one deliberate-update message on the wire: a destination
+// physical memory address on the destination node plus payload bytes.
+type Packet struct {
+	Src, Dst int
+	DestAddr addr.PAddr // physical memory address on the destination node
+	Payload  []byte
+	// LaunchedAt is the sender-clock time the packet entered the
+	// network; ArrivedAt is filled in (receiver clock) at delivery.
+	LaunchedAt sim.Cycles
+	ArrivedAt  sim.Cycles
+}
+
+// Endpoint is a network interface attached to the backplane.
+type Endpoint interface {
+	// NodeID returns the endpoint's node number.
+	NodeID() int
+	// NodeClock returns the clock deliveries should be scheduled on.
+	NodeClock() *sim.Clock
+	// DeliverPacket is invoked on the receiver's clock when the packet
+	// arrives.
+	DeliverPacket(pkt *Packet)
+}
+
+// Backplane is the mesh. Attach every endpoint before sending.
+type Backplane struct {
+	costs *sim.CostModel
+	eps   map[int]Endpoint
+	width int // mesh width for hop counting; recomputed on Attach
+
+	injectFree map[int]sim.Cycles // per-sender outgoing FIFO free time
+
+	packets uint64
+	bytes   uint64
+}
+
+// New returns an empty backplane using the given cost model for link
+// timing.
+func New(costs *sim.CostModel) *Backplane {
+	if costs == nil {
+		panic("interconnect: New requires a cost model")
+	}
+	return &Backplane{
+		costs:      costs,
+		eps:        make(map[int]Endpoint),
+		injectFree: make(map[int]sim.Cycles),
+	}
+}
+
+// Attach registers an endpoint. Attaching two endpoints with the same
+// node ID is a wiring bug.
+func (b *Backplane) Attach(ep Endpoint) {
+	id := ep.NodeID()
+	if _, dup := b.eps[id]; dup {
+		panic(fmt.Sprintf("interconnect: duplicate endpoint for node %d", id))
+	}
+	b.eps[id] = ep
+	b.width = int(math.Ceil(math.Sqrt(float64(len(b.eps)))))
+	if b.width < 1 {
+		b.width = 1
+	}
+}
+
+// Hops returns the mesh (Manhattan) distance between two nodes.
+func (b *Backplane) Hops(src, dst int) sim.Cycles {
+	if src == dst {
+		return 1 // through the local router
+	}
+	sx, sy := src%b.width, src/b.width
+	dx, dy := dst%b.width, dst/b.width
+	manhattan := abs(sx-dx) + abs(sy-dy)
+	return sim.Cycles(manhattan)
+}
+
+// Send launches a packet from its source endpoint. It serializes with
+// the sender's earlier packets (one outgoing FIFO), then flies across
+// the mesh and is delivered on the receiver's clock. Send returns the
+// sender-clock time at which the outgoing FIFO is free again.
+func (b *Backplane) Send(pkt *Packet) sim.Cycles {
+	src, ok := b.eps[pkt.Src]
+	if !ok {
+		panic(fmt.Sprintf("interconnect: send from unattached node %d", pkt.Src))
+	}
+	dst, ok := b.eps[pkt.Dst]
+	if !ok {
+		panic(fmt.Sprintf("interconnect: send to unattached node %d", pkt.Dst))
+	}
+
+	now := src.NodeClock().Now()
+	start := now
+	if free := b.injectFree[pkt.Src]; free > start {
+		start = free
+	}
+	wire := b.costs.LinkCycles(len(pkt.Payload))
+	b.injectFree[pkt.Src] = start + wire
+
+	flight := b.Hops(pkt.Src, pkt.Dst)*b.costs.LinkLatency + wire
+	arriveSender := start + flight // in sender time
+
+	pkt.LaunchedAt = start
+	b.packets++
+	b.bytes += uint64(len(pkt.Payload))
+
+	// Map onto the receiver's clock: never before the receiver's
+	// present (its clock may run ahead or behind the sender's).
+	rclock := dst.NodeClock()
+	at := arriveSender
+	if rnow := rclock.Now(); at < rnow {
+		at = rnow
+	}
+	rclock.Schedule(at, "packet-arrival", func() {
+		pkt.ArrivedAt = rclock.Now()
+		dst.DeliverPacket(pkt)
+	})
+	return b.injectFree[pkt.Src]
+}
+
+// Stats returns cumulative packet and byte counts.
+func (b *Backplane) Stats() (packets, bytes uint64) { return b.packets, b.bytes }
+
+// Nodes returns the number of attached endpoints.
+func (b *Backplane) Nodes() int { return len(b.eps) }
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

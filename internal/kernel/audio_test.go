@@ -1,0 +1,97 @@
+package kernel_test
+
+import (
+	"testing"
+
+	"shrimp/internal/addr"
+	"shrimp/internal/device"
+	"shrimp/internal/kernel"
+	"shrimp/internal/machine"
+	"shrimp/internal/sim"
+	"shrimp/internal/udmalib"
+	"shrimp/internal/workload"
+)
+
+// audioRun plays through a small ring: the process alternates a fixed
+// compute burst with a 512-byte ring top-up, via UDMA or the kernel
+// DMA path, and returns the underrun count.
+//
+// The budget is tuned so the difference between the two transfer paths
+// (a full UDMA send of 512 B costs ≈27 µs including the burst; the
+// kernel syscall path ≈37 µs) is exactly what decides whether the
+// deadline holds: at 6 MB/s a 512-byte period is 85.3 µs and the
+// compute burst is 55 µs, leaving ~30 µs for the top-up. UDMA fits; a
+// syscall does not. This is the paper's "common, fine-grain
+// operations" argument with a deadline attached.
+func audioRun(t *testing.T, udma bool) uint64 {
+	t.Helper()
+	n := machine.New(0, machine.Config{})
+	dac := device.NewAudio("dac0", 2048, 6e6, n.Clock, n.Costs)
+	n.AttachDevice(dac, 0)
+	defer n.Kernel.Shutdown()
+
+	const chunk = 512
+	const bursts = 64
+	var runErr error
+	n.Kernel.Spawn("player", func(p *kernel.Proc) {
+		va, _ := p.Alloc(addr.PageSize)
+		p.WriteBuf(va, workload.Payload(chunk, 3))
+		var d *udmalib.Dev
+		var err error
+		if udma {
+			d, err = udmalib.Open(p, dac, true)
+		} else {
+			_, err = p.MapDevice(dac, true)
+		}
+		if err != nil {
+			runErr = err
+			return
+		}
+		// Prefill the ring, then enter the compute/top-up loop.
+		for i := 0; i < 3; i++ {
+			if udma {
+				err = d.Send(va, 0, chunk)
+			} else {
+				err = p.DMAWrite(va, addr.DevProxy(0, 0), chunk, kernel.DMAOptions{})
+			}
+			if err != nil {
+				runErr = err
+				return
+			}
+		}
+		for i := 0; i < bursts; i++ {
+			p.Compute(3300) // 55 µs of "decoding"
+			if udma {
+				err = d.Send(va, 0, chunk)
+			} else {
+				err = p.DMAWrite(va, addr.DevProxy(0, 0), chunk, kernel.DMAOptions{})
+			}
+			if err != nil {
+				runErr = err
+				return
+			}
+		}
+	})
+	if err := n.Kernel.Run(sim.Forever); err != nil {
+		t.Fatal(err)
+	}
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	_, underruns, writes := dac.Stats()
+	if writes == 0 {
+		t.Fatal("no audio data ever reached the device")
+	}
+	return underruns
+}
+
+func TestAudioDeadlineUDMAKeepsUpKernelDMADoesNot(t *testing.T) {
+	udmaUnderruns := audioRun(t, true)
+	kernelUnderruns := audioRun(t, false)
+	if udmaUnderruns != 0 {
+		t.Fatalf("UDMA playback underran %d times", udmaUnderruns)
+	}
+	if kernelUnderruns == 0 {
+		t.Fatal("kernel-DMA playback met the deadline; the initiation gap should have broken it")
+	}
+}

@@ -1,0 +1,153 @@
+package kernel
+
+import (
+	"fmt"
+
+	"shrimp/internal/addr"
+)
+
+// AutoUpdateSink is the hardware that receives stores snooped from the
+// memory bus — the SHRIMP network interface's automatic-update path
+// implements it. Automatic update is SHRIMP's second transfer
+// strategy, which the paper's current design retains alongside UDMA
+// deliberate update (Section 9); it relies on a fixed mapping between
+// a local source page and a remote destination page.
+type AutoUpdateSink interface {
+	// SnoopWrite receives one 32-bit store at byte offset off of the
+	// page exported through translation entry 'entry'.
+	SnoopWrite(entry uint32, off uint32, v uint32)
+	// FlushAutoUpdate forces out any write-combining state; the kernel
+	// calls it on context switch so one process's tail writes cannot
+	// linger in the board while another runs.
+	FlushAutoUpdate()
+}
+
+// autoRange is one automatic-update export: pages [firstVPN,
+// firstVPN+nPages) snoop through entries [firstEntry, ...).
+type autoRange struct {
+	firstVPN   uint32
+	nPages     uint32
+	firstEntry uint32
+	sink       AutoUpdateSink
+	pfns       []uint32 // pinned frames, released on UnmapAutoUpdate
+}
+
+// MapAutoUpdate establishes an automatic-update binding: every store
+// the process makes to the n pages at va is propagated through the
+// sink's translation entries [firstEntry, firstEntry+n). The pages are
+// pinned — the fixed page mapping is the defining property (and
+// limitation) of automatic update.
+func (p *Proc) MapAutoUpdate(sink AutoUpdateSink, va addr.VAddr, pages int, firstEntry uint32) error {
+	k := p.kernel
+	k.stats.Syscalls++
+	p.inKernel++
+	defer func() { p.inKernel-- }()
+	k.clock.Advance(k.costs.SyscallEntry)
+	defer k.clock.Advance(k.costs.SyscallExit)
+
+	if sink == nil {
+		return fmt.Errorf("kernel: MapAutoUpdate with nil sink")
+	}
+	if addr.PageOff(va) != 0 {
+		return fmt.Errorf("kernel: MapAutoUpdate at non-page-aligned %#x", uint32(va))
+	}
+	if pages <= 0 {
+		return fmt.Errorf("kernel: MapAutoUpdate of %d pages", pages)
+	}
+	firstVPN := addr.VPN(va)
+	for _, r := range p.autoRanges {
+		if firstVPN < r.firstVPN+r.nPages && r.firstVPN < firstVPN+uint32(pages) {
+			return fmt.Errorf("kernel: MapAutoUpdate overlaps an existing export")
+		}
+	}
+	r := autoRange{
+		firstVPN:   firstVPN,
+		nPages:     uint32(pages),
+		firstEntry: firstEntry,
+		sink:       sink,
+	}
+	for i := 0; i < pages; i++ {
+		pfn, err := k.pinResident(p, firstVPN+uint32(i))
+		if err != nil {
+			for _, done := range r.pfns {
+				k.unpinFrame(done)
+			}
+			return err
+		}
+		r.pfns = append(r.pfns, pfn)
+	}
+	p.autoRanges = append(p.autoRanges, r)
+	return nil
+}
+
+// UnmapAutoUpdate removes the binding covering va, flushing the sink
+// and unpinning the pages.
+func (p *Proc) UnmapAutoUpdate(va addr.VAddr) error {
+	k := p.kernel
+	k.stats.Syscalls++
+	p.inKernel++
+	defer func() { p.inKernel-- }()
+	k.clock.Advance(k.costs.SyscallEntry)
+	defer k.clock.Advance(k.costs.SyscallExit)
+
+	vpn := addr.VPN(va)
+	for i, r := range p.autoRanges {
+		if vpn >= r.firstVPN && vpn < r.firstVPN+r.nPages {
+			r.sink.FlushAutoUpdate()
+			for _, pfn := range r.pfns {
+				k.unpinFrame(pfn)
+			}
+			p.autoRanges = append(p.autoRanges[:i], p.autoRanges[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("kernel: no automatic-update export covers %#x", uint32(va))
+}
+
+// pinResident is pinUserPage without the syscall accounting (callers
+// are already inside a syscall).
+func (k *Kernel) pinResident(p *Proc, vpn uint32) (uint32, error) {
+	pte := p.as.Lookup(vpn)
+	if pte == nil {
+		return 0, fmt.Errorf("kernel: page %d not mapped", vpn)
+	}
+	if !pte.Present {
+		if err := k.pageIn(p, vpn, pte); err != nil {
+			return 0, err
+		}
+	}
+	if !pte.Writable {
+		return 0, fmt.Errorf("kernel: page %d is read-only", vpn)
+	}
+	pte.Dirty = true
+	k.pinFrame(pte.PPN)
+	return pte.PPN, nil
+}
+
+// snoopStore propagates a store to any automatic-update export it
+// falls in. Called from the Store fast path after the memory write.
+// Exported pages are write-through (the board snoops the memory bus),
+// so the store pays the write-through penalty on top of the ordinary
+// reference cost; the snoop itself is hardware and free to the CPU.
+func (p *Proc) snoopStore(va addr.VAddr, v uint32) {
+	if len(p.autoRanges) == 0 {
+		return
+	}
+	vpn := addr.VPN(va)
+	for i := range p.autoRanges {
+		r := &p.autoRanges[i]
+		if vpn >= r.firstVPN && vpn < r.firstVPN+r.nPages {
+			p.charge(p.kernel.costs.WriteThroughStore)
+			r.sink.SnoopWrite(r.firstEntry+(vpn-r.firstVPN), addr.PageOff(va), v)
+			return
+		}
+	}
+}
+
+// flushAutoUpdates forces out the combining state of every sink the
+// process exports through (context-switch path).
+func (p *Proc) flushAutoUpdates() {
+	for i := range p.autoRanges {
+		p.autoRanges[i].sink.FlushAutoUpdate()
+	}
+}

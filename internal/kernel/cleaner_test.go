@@ -1,0 +1,136 @@
+package kernel_test
+
+import (
+	"errors"
+	"testing"
+
+	"shrimp/internal/addr"
+	"shrimp/internal/core"
+	"shrimp/internal/kernel"
+	"shrimp/internal/machine"
+	"shrimp/internal/mmu"
+	"shrimp/internal/sim"
+)
+
+func TestCleanerDaemonCleansDirtyPages(t *testing.T) {
+	n, _ := newNode(t, machine.Config{})
+	stop := n.Kernel.StartCleaner(100_000)
+	defer stop()
+
+	var stillDirty bool
+	n.Kernel.Spawn("p", func(p *kernel.Proc) {
+		va, _ := p.Alloc(4 * addr.PageSize)
+		for i := 0; i < 4; i++ {
+			p.Store(va+addr.VAddr(i*addr.PageSize), uint32(i))
+		}
+		// Let several daemon periods elapse (each clean costs 300k
+		// cycles itself, so give it room).
+		p.Sleep(5_000_000)
+		stillDirty = false
+		for i := 0; i < 4; i++ {
+			if p.AddressSpace().Lookup(addr.VPN(va) + uint32(i)).Dirty {
+				stillDirty = true
+			}
+		}
+	})
+	run(t, n)
+	if stillDirty {
+		t.Fatal("cleaner daemon left dirty pages after several periods")
+	}
+	if n.Kernel.Stats().CleanedPages < 4 {
+		t.Fatalf("cleaned %d pages", n.Kernel.Stats().CleanedPages)
+	}
+}
+
+func TestCleanerDaemonMaintainsI3WithUDMA(t *testing.T) {
+	// The daemon write-protects proxy pages when it cleans; a later
+	// destination use must re-fault, re-dirty and still work.
+	n, buf := newNode(t, machine.Config{})
+	stop := n.Kernel.StartCleaner(200_000)
+	defer stop()
+
+	var err2 error
+	n.Kernel.Spawn("p", func(p *kernel.Proc) {
+		devVA, _ := p.MapDevice(buf, true)
+		va, _ := p.Alloc(addr.PageSize)
+		for round := 0; round < 3; round++ {
+			// Incoming transfer: memory is the destination.
+			if err := p.Store(addr.VProxy(va), 64); err != nil {
+				err2 = err
+				return
+			}
+			if _, err := p.Load(devVA); err != nil {
+				err2 = err
+				return
+			}
+			for {
+				v, _ := p.Load(devVA)
+				if !core.Status(v).Match() {
+					break
+				}
+			}
+			if !p.AddressSpace().Lookup(addr.VPN(va)).Dirty {
+				err2 = errors.New("destination page not dirty after transfer")
+				return
+			}
+			// Give the daemon time to clean it again.
+			p.Sleep(2_000_000)
+		}
+	})
+	run(t, n)
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	st := n.Kernel.Stats()
+	if st.CleanedPages == 0 {
+		t.Fatal("daemon never cleaned")
+	}
+	if st.ProxyUpgrades < 2 {
+		t.Fatalf("proxy re-upgrades = %d, want >= 2 (I3 cycle)", st.ProxyUpgrades)
+	}
+}
+
+func TestCleanerStops(t *testing.T) {
+	n, _ := newNode(t, machine.Config{})
+	stop := n.Kernel.StartCleaner(50_000)
+	var cleanedAtStop uint64
+	n.Kernel.Spawn("p", func(p *kernel.Proc) {
+		va, _ := p.Alloc(addr.PageSize)
+		p.Store(va, 1)
+		p.Sleep(1_000_000)
+		stop()
+		cleanedAtStop = n.Kernel.Stats().CleanedPages
+		p.Store(va, 2)
+		p.Sleep(1_000_000)
+	})
+	run(t, n)
+	if n.Kernel.Stats().CleanedPages != cleanedAtStop {
+		t.Fatal("cleaner kept cleaning after stop")
+	}
+	// Drain the one orphaned scheduled tick, if any.
+	n.Clock.RunUntilIdle()
+}
+
+func TestCleanerZeroPeriodPanics(t *testing.T) {
+	n, _ := newNode(t, machine.Config{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("StartCleaner(0) did not panic")
+		}
+	}()
+	n.Kernel.StartCleaner(0)
+}
+
+func TestCleanPageOfNonResidentFails(t *testing.T) {
+	n, _ := newNode(t, machine.Config{})
+	var err error
+	n.Kernel.Spawn("p", func(p *kernel.Proc) {
+		err = n.Kernel.CleanPage(p, 0x700)
+	})
+	run(t, n)
+	if err == nil {
+		t.Fatal("CleanPage of unmapped page succeeded")
+	}
+	_ = mmu.PTE{}
+	_ = sim.Cycles(0)
+}

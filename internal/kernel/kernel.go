@@ -1,0 +1,368 @@
+// Package kernel implements the simulated node's operating system: a
+// round-robin scheduler over coroutine processes, demand-paged virtual
+// memory with a backing store, the proxy-mapping support the UDMA
+// mechanism requires (paper Section 6, invariants I1–I4), and the
+// traditional kernel-initiated DMA syscall path that serves as the
+// paper's baseline (Section 2).
+//
+// The four invariants, where they live:
+//
+//	I1 (atomicity)          — switchTo fires Controller.Inval on every
+//	                          context switch.
+//	I2 (mapping consistency)— handleMemProxyFault creates proxy PTEs on
+//	                          demand with the 3-case handler; evictFrame
+//	                          invalidates the proxy PTE whenever the
+//	                          real mapping changes.
+//	I3 (content consistency)— proxy PTEs are writable only while the
+//	                          real page is dirty; the proxy write-
+//	                          protection fault marks the real page dirty
+//	                          and upgrades; CleanPage write-protects the
+//	                          proxy page and re-checks in-flight DMA.
+//	I4 (register consistency)— evictFrame refuses victims whose frame is
+//	                          in the engine registers or the UDMA queue
+//	                          (Controller.PageInUse), optionally
+//	                          Inval-ing a DestLoaded latch.
+package kernel
+
+import (
+	"errors"
+	"fmt"
+
+	"shrimp/internal/addr"
+	"shrimp/internal/bus"
+	"shrimp/internal/core"
+	"shrimp/internal/device"
+	"shrimp/internal/dma"
+	"shrimp/internal/mem"
+	"shrimp/internal/mmu"
+	"shrimp/internal/sim"
+	"shrimp/internal/trace"
+)
+
+// Config tunes the kernel.
+type Config struct {
+	// Quantum is the scheduling time slice in cycles. Zero disables
+	// preemption (processes run until they block or exit).
+	Quantum sim.Cycles
+	// BounceFrames is the number of pre-pinned kernel bounce-buffer
+	// frames reserved for the copying traditional-DMA variant. Zero
+	// disables that path.
+	BounceFrames int
+}
+
+// Stats counts kernel events for the experiments.
+type Stats struct {
+	ContextSwitches  uint64
+	Invals           uint64 // I1 Invals fired by context switches
+	PageFaults       uint64
+	ProxyFaults      uint64 // faults resolved by proxy-mapping handlers
+	ProxyUpgrades    uint64 // I3 write-enable upgrades
+	PageIns          uint64
+	PageOuts         uint64
+	Evictions        uint64
+	EvictionStallsI4 uint64 // victims skipped because UDMA held the frame
+	Pins             uint64
+	Unpins           uint64
+	Syscalls         uint64
+	Segfaults        uint64
+	CleanedPages     uint64
+	CleanRaceKeeps   uint64 // I3: dirty kept because DMA was in flight
+}
+
+// Kernel is one node's operating system instance.
+type Kernel struct {
+	clock  *sim.Clock
+	costs  *sim.CostModel
+	ram    *mem.Physical
+	swap   *mem.BackingStore
+	mmu    *mmu.MMU
+	iobus  *bus.Bus
+	engine *dma.Engine
+	udma   *core.Controller // nil on a traditional-DMA-only machine
+	devmap *device.Map
+
+	cfg   Config
+	stats Stats
+
+	procs   []*Proc
+	nextPID int
+	current *Proc
+	rrIndex int
+
+	frames    []frameInfo
+	freeList  []uint32
+	clockHand int
+
+	bounceBase  uint32 // first bounce frame; bounce frames are contiguous
+	bounceCount int
+
+	// engineWaiters are processes blocked until the next DMA engine
+	// completion (the traditional-DMA syscall path).
+	engineWaiters []*Proc
+
+	// runLimit is the current Run deadline; charge yields past it so
+	// non-blocking processes cannot wedge the scheduler.
+	runLimit sim.Cycles
+
+	tracer *trace.Tracer // nil = tracing off
+}
+
+type frameInfo struct {
+	owner  *Proc
+	vpn    uint32
+	pinned int
+	kernel bool // kernel-owned (bounce buffers); never evicted
+	used   bool
+}
+
+// ErrDeadlock is returned by Run when processes are blocked but no
+// future event can wake them.
+var ErrDeadlock = errors.New("kernel: all processes blocked with no pending events")
+
+// New assembles a kernel. udma may be nil for a machine without the
+// UDMA extension (the pure-baseline configuration of experiment E3).
+func New(clock *sim.Clock, costs *sim.CostModel, ram *mem.Physical, swap *mem.BackingStore,
+	m *mmu.MMU, iobus *bus.Bus, engine *dma.Engine, udma *core.Controller,
+	devmap *device.Map, cfg Config) *Kernel {
+	if clock == nil || costs == nil || ram == nil || swap == nil || m == nil ||
+		iobus == nil || engine == nil || devmap == nil {
+		panic("kernel: New requires non-nil dependencies (udma may be nil)")
+	}
+	if cfg.BounceFrames < 0 || cfg.BounceFrames >= ram.Frames() {
+		panic(fmt.Sprintf("kernel: BounceFrames %d out of range", cfg.BounceFrames))
+	}
+	k := &Kernel{
+		clock: clock, costs: costs, ram: ram, swap: swap, mmu: m,
+		iobus: iobus, engine: engine, udma: udma, devmap: devmap, cfg: cfg,
+		frames:   make([]frameInfo, ram.Frames()),
+		runLimit: sim.Forever,
+	}
+	// Burn swap slot 0 so PTE.SwapSlot==0 can mean "no slot assigned".
+	k.swap.Alloc()
+
+	// Reserve bounce frames at the top of RAM: contiguous, pinned,
+	// kernel-owned.
+	k.bounceCount = cfg.BounceFrames
+	k.bounceBase = uint32(ram.Frames() - cfg.BounceFrames)
+	for i := 0; i < cfg.BounceFrames; i++ {
+		k.frames[k.bounceBase+uint32(i)] = frameInfo{kernel: true, used: true}
+	}
+	for pfn := uint32(0); pfn < k.bounceBase; pfn++ {
+		k.freeList = append(k.freeList, pfn)
+	}
+
+	// Wake traditional-DMA waiters on every engine completion.
+	engine.OnComplete(func(error) {
+		waiters := k.engineWaiters
+		k.engineWaiters = nil
+		for _, p := range waiters {
+			k.wake(p)
+		}
+	})
+	return k
+}
+
+// SetTracer attaches an event tracer (nil disables tracing).
+func (k *Kernel) SetTracer(t *trace.Tracer) { k.tracer = t }
+
+// Clock exposes the node clock (read-mostly; tests and experiments).
+func (k *Kernel) Clock() *sim.Clock { return k.clock }
+
+// Costs exposes the cost model.
+func (k *Kernel) Costs() *sim.CostModel { return k.costs }
+
+// Stats returns a copy of the kernel counters.
+func (k *Kernel) Stats() Stats { return k.stats }
+
+// UDMA returns the node's UDMA controller, or nil.
+func (k *Kernel) UDMA() *core.Controller { return k.udma }
+
+// Engine returns the node's DMA engine.
+func (k *Kernel) Engine() *dma.Engine { return k.engine }
+
+// FreeFrames returns the number of unallocated frames.
+func (k *Kernel) FreeFrames() int { return len(k.freeList) }
+
+// Spawn creates a process running fn and adds it to the run queue. The
+// function receives its Proc, whose Load/Store/syscall methods are the
+// process's instruction stream.
+func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
+	k.nextPID++
+	p := &Proc{
+		pid:    k.nextPID,
+		name:   name,
+		kernel: k,
+		as:     mmu.NewAddressSpace(k.nextPID),
+		state:  procReady,
+		resume: make(chan resumeMsg),
+		yield:  make(chan yieldReason),
+		// User heap starts above the first page, well inside the real
+		// memory region.
+		heapNext: 0x0001_0000 >> addr.PageShift,
+		fn:       fn,
+	}
+	go p.main()
+	k.procs = append(k.procs, p)
+	return p
+}
+
+// Run drives the machine until every process has exited, the simulated
+// clock passes limit, or a deadlock is detected. Pass sim.Forever for
+// no time limit.
+func (k *Kernel) Run(limit sim.Cycles) error {
+	k.runLimit = limit
+	for {
+		if k.clock.Now() > limit {
+			return nil
+		}
+		p := k.nextReady()
+		if p == nil {
+			if k.allExited() {
+				return nil
+			}
+			// Everyone is blocked: let simulated time move to the next
+			// hardware event (DMA completion, packet arrival, timer).
+			at, ok := k.clock.NextEventAt()
+			if !ok {
+				return ErrDeadlock
+			}
+			if at > limit {
+				return nil
+			}
+			k.clock.AdvanceTo(at)
+			continue
+		}
+		k.switchTo(p)
+		reason := p.runSlice()
+		switch reason {
+		case yieldExit:
+			k.reap(p)
+		case yieldBlock, yieldPreempt:
+			// State already recorded by the proc.
+		}
+	}
+}
+
+// RunFor is Run with a relative limit.
+func (k *Kernel) RunFor(d sim.Cycles) error {
+	return k.Run(k.clock.Now() + d)
+}
+
+// Shutdown kills every live process (for tests and harness cleanup so
+// no goroutines outlive the simulation).
+func (k *Kernel) Shutdown() {
+	for _, p := range k.procs {
+		if p.state == procExited {
+			continue
+		}
+		p.killed = true
+		if p.state == procBlocked {
+			p.state = procReady
+		}
+	}
+	// Drive remaining processes to their kill points.
+	for {
+		p := k.nextReady()
+		if p == nil {
+			break
+		}
+		k.current = p
+		if p.runSlice() == yieldExit {
+			k.reap(p)
+		}
+	}
+}
+
+// AllExited reports whether every spawned process has exited.
+func (k *Kernel) AllExited() bool { return k.allExited() }
+
+func (k *Kernel) allExited() bool {
+	for _, p := range k.procs {
+		if p.state != procExited {
+			return false
+		}
+	}
+	return true
+}
+
+// nextReady picks the next runnable process round-robin.
+func (k *Kernel) nextReady() *Proc {
+	n := len(k.procs)
+	for i := 0; i < n; i++ {
+		p := k.procs[(k.rrIndex+i)%n]
+		if p.state == procReady {
+			k.rrIndex = (k.rrIndex + i + 1) % n
+			return p
+		}
+	}
+	return nil
+}
+
+// switchTo performs the context switch to p, charging the switch cost
+// and firing the UDMA Inval that maintains invariant I1. Resuming the
+// same process (it was merely preempted with nobody else runnable) is
+// free and fires no Inval — there was no context switch.
+func (k *Kernel) switchTo(p *Proc) {
+	if k.current == p {
+		p.quantum = k.cfg.Quantum
+		return
+	}
+	k.stats.ContextSwitches++
+	k.tracer.Record(trace.EvContextSwitch, uint64(p.pid), 0, p.name)
+	k.clock.Advance(k.costs.ContextSwitch)
+	if k.current != nil {
+		// Automatic update: drain the outgoing process's combining
+		// buffers so its tail writes do not linger in the board.
+		k.current.flushAutoUpdates()
+	}
+	if k.udma != nil {
+		// I1: "the operating system must invalidate any partially
+		// initiated UDMA transfer on every context switch ... with a
+		// single STORE instruction."
+		k.udma.Inval()
+		k.stats.Invals++
+	}
+	k.current = p
+	p.quantum = k.cfg.Quantum
+}
+
+func (k *Kernel) reap(p *Proc) {
+	// Tear down automatic-update exports: flush the boards and drop
+	// the pins so the frames below can be released.
+	for i := range p.autoRanges {
+		p.autoRanges[i].sink.FlushAutoUpdate()
+		for _, pfn := range p.autoRanges[i].pfns {
+			k.unpinFrame(pfn)
+		}
+	}
+	p.autoRanges = nil
+	// Release every frame and swap slot the process holds.
+	p.as.Walk(func(vpn uint32, e *mmu.PTE) bool {
+		if e.Present && addr.RegionOf(addr.PAddr(e.PPN<<addr.PageShift)) == addr.RegionMemory {
+			k.releaseFrame(e.PPN)
+		}
+		if e.SwapSlot != 0 {
+			if err := k.swap.Free(e.SwapSlot); err != nil {
+				panic(fmt.Sprintf("kernel: reap pid %d: %v", p.pid, err))
+			}
+		}
+		return true
+	})
+	k.mmu.TLB().FlushASID(p.as.ASID)
+	if k.current == p {
+		k.current = nil
+	}
+}
+
+func (k *Kernel) wake(p *Proc) {
+	if p.state == procBlocked {
+		p.state = procReady
+	}
+}
+
+// blockCurrentUntilEngineDone registers the current process to be woken
+// at the next engine completion. Must be called from process context.
+func (k *Kernel) blockOnEngine(p *Proc) {
+	k.engineWaiters = append(k.engineWaiters, p)
+	p.block()
+}

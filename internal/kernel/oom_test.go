@@ -1,0 +1,74 @@
+package kernel_test
+
+import (
+	"testing"
+
+	"shrimp/internal/addr"
+	"shrimp/internal/kernel"
+	"shrimp/internal/machine"
+)
+
+// TestAllocFailsGracefullyWhenAllFramesPinned exercises the kernel's
+// out-of-memory path: with every frame pinned, Alloc must return an
+// error (not panic, not loop forever).
+func TestAllocFailsGracefullyWhenAllFramesPinned(t *testing.T) {
+	n, _ := newNode(t, machine.Config{RAMFrames: 12})
+	var allocErr, recovered error
+	var pinnedCount int
+	n.Kernel.Spawn("hog", func(p *kernel.Proc) {
+		// Pin everything we can get.
+		var pinned []uint32
+		for {
+			va, err := p.Alloc(addr.PageSize)
+			if err != nil {
+				allocErr = err
+				break
+			}
+			pfn, err := n.Kernel.PinUserPage(p, addr.VPN(va))
+			if err != nil {
+				allocErr = err
+				break
+			}
+			pinned = append(pinned, pfn)
+		}
+		pinnedCount = len(pinned)
+		// The machine recovers once pins are dropped.
+		for _, pfn := range pinned {
+			n.Kernel.UnpinUserPage(pfn)
+		}
+		_, recovered = p.Alloc(addr.PageSize)
+	})
+	run(t, n)
+	if allocErr == nil {
+		t.Fatal("exhaustion never surfaced an error")
+	}
+	if pinnedCount == 0 || pinnedCount > 12 {
+		t.Fatalf("pinned %d of 12 frames before failing", pinnedCount)
+	}
+	if recovered != nil {
+		t.Fatalf("Alloc after unpinning failed: %v", recovered)
+	}
+}
+
+// TestHeapExhaustionIsAnError drives the heap cursor toward the end of
+// the 1 GB memory region and checks the failure is a clean error.
+func TestHeapExhaustionIsAnError(t *testing.T) {
+	n, _ := newNode(t, machine.Config{RAMFrames: 24})
+	var err error
+	n.Kernel.Spawn("p", func(p *kernel.Proc) {
+		// Jump the heap cursor near the region end by allocating one
+		// page, then asking for more than the remaining region.
+		va, e := p.Alloc(addr.PageSize)
+		if e != nil {
+			err = e
+			return
+		}
+		_ = va
+		remainingPages := int(addr.RegionMaxPage) // far more than the region has left
+		_, err = p.Alloc(remainingPages * addr.PageSize)
+	})
+	run(t, n)
+	if err == nil {
+		t.Fatal("allocating beyond the memory region succeeded")
+	}
+}

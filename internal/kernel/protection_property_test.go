@@ -1,0 +1,113 @@
+package kernel_test
+
+import (
+	"fmt"
+	"testing"
+
+	"shrimp/internal/addr"
+	"shrimp/internal/core"
+	"shrimp/internal/device"
+	"shrimp/internal/kernel"
+	"shrimp/internal/machine"
+	"shrimp/internal/sim"
+	"shrimp/internal/udmalib"
+	"shrimp/internal/workload"
+)
+
+// TestProtectionUnderRandomizedSharing is the paper's central promise
+// ("a UDMA device can be used concurrently by an arbitrary number of
+// untrusting processes without compromising protection") stress-tested:
+// for several seeds, 2–5 processes with randomized message sizes,
+// compute bursts and scheduling quanta all hammer one device. Every
+// byte must land in its owner's region with its owner's pattern.
+func TestProtectionUnderRandomizedSharing(t *testing.T) {
+	for seed := uint64(1); seed <= 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := sim.NewRNG(seed)
+			procs := 2 + rng.Intn(4)
+			quantum := sim.Cycles(1000 + rng.Intn(4000))
+			queueDepth := rng.Intn(3) * 4 // 0, 4 or 8
+
+			n := machine.New(0, machine.Config{
+				RAMFrames: 64 + procs*4,
+				Kernel:    kernel.Config{Quantum: quantum},
+				UDMA:      core.Config{QueueDepth: queueDepth},
+			})
+			buf := device.NewBuffer("buf", uint32(procs), 4, 0)
+			n.AttachDevice(buf, 0)
+			defer n.Kernel.Shutdown()
+
+			type plan struct {
+				msgs  int
+				size  int
+				burst sim.Cycles
+			}
+			plans := make([]plan, procs)
+			errs := make([]error, procs)
+			for i := 0; i < procs; i++ {
+				plans[i] = plan{
+					msgs:  4 + rng.Intn(12),
+					size:  4 * (16 + rng.Intn(200)), // 64..860 bytes, 4-aligned
+					burst: sim.Cycles(rng.Intn(2000)),
+				}
+				i := i
+				n.Kernel.Spawn(fmt.Sprintf("p%d", i), func(p *kernel.Proc) {
+					d, err := udmalib.Open(p, buf, true)
+					if err != nil {
+						errs[i] = err
+						return
+					}
+					va, err := p.Alloc(addr.PageSize)
+					if err != nil {
+						errs[i] = err
+						return
+					}
+					if err := p.WriteBuf(va, workload.Payload(plans[i].size, byte(i+1))); err != nil {
+						errs[i] = err
+						return
+					}
+					for m := 0; m < plans[i].msgs; m++ {
+						if plans[i].burst > 0 {
+							p.Compute(plans[i].burst)
+						}
+						var err error
+						if queueDepth > 0 {
+							err = d.QueuedSend(va, uint32(i)<<addr.PageShift, plans[i].size)
+						} else {
+							err = d.Send(va, uint32(i)<<addr.PageShift, plans[i].size)
+						}
+						if err != nil {
+							errs[i] = err
+							return
+						}
+					}
+				})
+			}
+			if err := n.Kernel.Run(sim.Forever); err != nil {
+				t.Fatal(err)
+			}
+			for i, err := range errs {
+				if err != nil {
+					t.Fatalf("proc %d: %v", i, err)
+				}
+			}
+			for i := 0; i < procs; i++ {
+				want := workload.Payload(plans[i].size, byte(i+1))
+				got := buf.Bytes(i*addr.PageSize, plans[i].size)
+				for j := range want {
+					if got[j] != want[j] {
+						t.Fatalf("proc %d region corrupted at byte %d (quantum=%d depth=%d)",
+							i, j, quantum, queueDepth)
+					}
+				}
+			}
+			// The paper's recovery protocol must have been visible in at
+			// least some seeds — we only assert its accounting is sane.
+			ks := n.Kernel.Stats()
+			if ks.Invals != ks.ContextSwitches {
+				t.Fatalf("I1 violated: %d invals for %d switches", ks.Invals, ks.ContextSwitches)
+			}
+		})
+	}
+}

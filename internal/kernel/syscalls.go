@@ -1,0 +1,310 @@
+package kernel
+
+import (
+	"fmt"
+
+	"shrimp/internal/addr"
+	"shrimp/internal/core"
+	"shrimp/internal/device"
+	"shrimp/internal/mmu"
+	"shrimp/internal/sim"
+)
+
+// MapDevice grants the process access to dev's device-proxy pages
+// (paper Section 4: "An operating system call is responsible for
+// creating the mapping. The system call decides whether to grant
+// permission ... and whether the permission is read-only."). The PTEs
+// themselves are created lazily by the device-proxy fault handler; the
+// syscall records the grant and returns the virtual base address of
+// the device's proxy window.
+func (p *Proc) MapDevice(dev device.Device, writable bool) (addr.VAddr, error) {
+	k := p.kernel
+	k.stats.Syscalls++
+	p.inKernel++
+	defer func() { p.inKernel-- }()
+	k.clock.Advance(k.costs.SyscallEntry)
+	defer k.clock.Advance(k.costs.SyscallExit)
+
+	first, n, ok := k.devmap.PageRange(dev)
+	if !ok {
+		return 0, fmt.Errorf("kernel: MapDevice: %s is not attached to this node", dev.Name())
+	}
+	p.devGrants = append(p.devGrants, devGrant{firstPage: first, nPages: n, writable: writable})
+	return addr.VAddr(addr.DevProxy(first, 0)), nil
+}
+
+// PinUserPage ensures the process page at vpn is resident and pinned,
+// returning its physical frame. The SHRIMP mapping syscalls use it to
+// export receive buffers to remote nodes: incoming packets DMA straight
+// into physical memory, so the frame must stay put for as long as a
+// remote NIPT entry names it. The page is marked dirty while exported
+// (its contents can change beneath the VM system at any time).
+func (k *Kernel) PinUserPage(p *Proc, vpn uint32) (uint32, error) {
+	k.stats.Syscalls++
+	p.inKernel++
+	defer func() { p.inKernel-- }()
+	k.clock.Advance(k.costs.SyscallEntry)
+	defer k.clock.Advance(k.costs.SyscallExit)
+
+	pte := p.as.Lookup(vpn)
+	if pte == nil {
+		return 0, fmt.Errorf("kernel: PinUserPage: page %d not mapped", vpn)
+	}
+	if !pte.Present {
+		if err := k.pageIn(p, vpn, pte); err != nil {
+			return 0, err
+		}
+	}
+	if !pte.Writable {
+		return 0, fmt.Errorf("kernel: PinUserPage: page %d is read-only", vpn)
+	}
+	pte.Dirty = true
+	k.pinFrame(pte.PPN)
+	return pte.PPN, nil
+}
+
+// UnpinUserPage releases a PinUserPage pin.
+func (k *Kernel) UnpinUserPage(pfn uint32) {
+	k.unpinFrame(pfn)
+}
+
+// DMAOptions tunes the traditional-DMA syscalls for the ablation
+// experiments.
+type DMAOptions struct {
+	// Bounce copies through the kernel's pre-pinned bounce buffers
+	// instead of pinning user pages ("copying pages into special
+	// pre-pinned I/O buffers", Section 1).
+	Bounce bool
+}
+
+// DMAWrite is the traditional kernel-initiated DMA transfer of n bytes
+// from user memory at va to the device location named by the
+// device-proxy physical address devPA (paper Section 2). The process
+// blocks until the transfer completes. All four steps are charged:
+// syscall entry, translation + permission check + pinning, descriptor
+// build + engine programming, completion interrupt + unpin + return.
+func (p *Proc) DMAWrite(va addr.VAddr, devPA addr.PAddr, n int, opts DMAOptions) error {
+	return p.traditionalDMA(va, devPA, n, true, opts)
+}
+
+// DMARead is the device→memory direction: n bytes from devPA into the
+// process's memory at va.
+func (p *Proc) DMARead(va addr.VAddr, devPA addr.PAddr, n int, opts DMAOptions) error {
+	return p.traditionalDMA(va, devPA, n, false, opts)
+}
+
+func (p *Proc) traditionalDMA(va addr.VAddr, devPA addr.PAddr, n int, toDevice bool, opts DMAOptions) error {
+	k := p.kernel
+	k.stats.Syscalls++
+	p.inKernel++
+	defer func() { p.inKernel-- }()
+
+	// Step 1: system call entry.
+	k.clock.Advance(k.costs.SyscallEntry)
+	defer k.clock.Advance(k.costs.SyscallExit)
+
+	if n <= 0 {
+		return fmt.Errorf("kernel: DMA of %d bytes", n)
+	}
+	if addr.RegionOf(devPA) != addr.RegionDevProxy {
+		return fmt.Errorf("kernel: DMA device address %#x not in device space", uint32(devPA))
+	}
+	if _, _, ok := k.devmap.Resolve(devPA); !ok {
+		return fmt.Errorf("kernel: DMA device address %#x not decoded by any device", uint32(devPA))
+	}
+
+	if opts.Bounce {
+		return p.dmaBounce(va, devPA, n, toDevice)
+	}
+	return p.dmaPinned(va, devPA, n, toDevice)
+}
+
+// dmaPinned is the pin-per-transfer variant: translate, verify, pin
+// every page, run the transfers, unpin.
+func (p *Proc) dmaPinned(va addr.VAddr, devPA addr.PAddr, n int, toDevice bool) error {
+	k := p.kernel
+	access := mmu.Read
+	if !toDevice {
+		access = mmu.Write
+	}
+
+	// Step 2: translate user pages, verify permission, pin, build the
+	// descriptor.
+	type seg struct {
+		pa    addr.PAddr
+		dev   addr.PAddr
+		count int
+	}
+	var segs []seg
+	var pinned []uint32
+	defer func() {
+		for _, pfn := range pinned {
+			k.unpinFrame(pfn)
+		}
+	}()
+
+	off := 0
+	dev := devPA
+	for off < n {
+		a := va + addr.VAddr(off)
+		k.clock.Advance(k.costs.TranslatePage)
+		// Touch the page so a swapped-out page faults in, then probe
+		// for the physical address without disturbing reference bits.
+		if _, _, err := p.translate(a, access); err != nil {
+			return err
+		}
+		tr, fault := k.mmu.Probe(p.as, a, access)
+		if fault != nil {
+			return p.segfault(a, access, fault.Kind)
+		}
+		if addr.RegionOf(tr.PA) != addr.RegionMemory {
+			return fmt.Errorf("kernel: DMA on non-memory virtual range")
+		}
+		pfn := addr.PFN(tr.PA)
+		k.pinFrame(pfn)
+		pinned = append(pinned, pfn)
+		if !toDevice {
+			// Incoming DMA dirties the page; the kernel knows because
+			// it set the transfer up (traditional path).
+			p.as.Lookup(addr.VPN(a)).Dirty = true
+		}
+
+		chunk := min(min(addr.BytesToPageEnd(a), n-off),
+			addr.PageSize-int(addr.PPageOff(dev)))
+		k.clock.Advance(k.costs.BuildDescPage)
+		segs = append(segs, seg{pa: tr.PA, dev: dev, count: chunk})
+		off += chunk
+		dev += addr.PAddr(chunk)
+	}
+
+	// Step 3: run the engine over the descriptor, one bus transfer per
+	// segment; the controller chains segments and raises a single
+	// completion interrupt for the whole request.
+	for _, s := range segs {
+		src, dst := s.pa, s.dev
+		if !toDevice {
+			src, dst = s.dev, s.pa
+		}
+		if err := p.engineTransfer(src, dst, s.count); err != nil {
+			return err
+		}
+	}
+	k.clock.Advance(k.costs.InterruptEntry)
+	// Step 4: unpin (deferred) and return.
+	return nil
+}
+
+// dmaBounce is the copying variant: data moves through pre-pinned
+// kernel buffers, so no per-transfer pinning — but every byte is copied
+// by the CPU.
+func (p *Proc) dmaBounce(va addr.VAddr, devPA addr.PAddr, n int, toDevice bool) error {
+	k := p.kernel
+	if k.bounceCount == 0 {
+		return fmt.Errorf("kernel: bounce buffers not configured")
+	}
+	bounceBytes := k.bounceCount * addr.PageSize
+	access := mmu.Read
+	if !toDevice {
+		access = mmu.Write
+	}
+
+	off := 0
+	dev := devPA
+	for off < n {
+		chunk := min(n-off, bounceBytes)
+		// Also split at device page boundaries inside engineTransfer's
+		// caller loop below; the bounce buffer itself is physically
+		// contiguous.
+		if toDevice {
+			if err := p.copyUserToBounce(va+addr.VAddr(off), chunk); err != nil {
+				return err
+			}
+		}
+		// Transfer bounce ↔ device in device-page-sized pieces.
+		done := 0
+		for done < chunk {
+			piece := min(chunk-done, addr.PageSize-int(addr.PPageOff(dev)))
+			bouncePA := addr.FrameAddr(k.bounceBase) + addr.PAddr(done)
+			src, dst := bouncePA, dev
+			if !toDevice {
+				src, dst = dev, bouncePA
+			}
+			k.clock.Advance(k.costs.BuildDescPage)
+			if err := p.engineTransfer(src, dst, piece); err != nil {
+				return err
+			}
+			done += piece
+			dev += addr.PAddr(piece)
+		}
+		if !toDevice {
+			if err := p.copyBounceToUser(va+addr.VAddr(off), chunk); err != nil {
+				return err
+			}
+		}
+		_ = access
+		off += chunk
+	}
+	k.clock.Advance(k.costs.InterruptEntry)
+	return nil
+}
+
+func (p *Proc) copyUserToBounce(va addr.VAddr, n int) error {
+	k := p.kernel
+	data, err := p.ReadBuf(va, n)
+	if err != nil {
+		return err
+	}
+	k.clock.Advance(k.costs.CopyPerWord * sim.Cycles((n+3)/4))
+	return k.ram.Write(addr.FrameAddr(k.bounceBase), data)
+}
+
+func (p *Proc) copyBounceToUser(va addr.VAddr, n int) error {
+	k := p.kernel
+	data, err := k.ram.Read(addr.FrameAddr(k.bounceBase), n)
+	if err != nil {
+		return err
+	}
+	k.clock.Advance(k.costs.CopyPerWord * sim.Cycles((n+3)/4))
+	return p.WriteBuf(va, data)
+}
+
+// engineTransfer runs one bus transfer on the shared DMA engine,
+// blocking the process until it completes. With the two-priority-queue
+// controller variant the kernel submits on the reserved system queue —
+// the paper's "higher priority queue reserved for the system" — and so
+// overtakes queued user UDMA work instead of waiting behind it. On a
+// basic controller (or a no-UDMA machine) it contends for the idle
+// engine like everyone else.
+func (p *Proc) engineTransfer(src, dst addr.PAddr, count int) error {
+	k := p.kernel
+
+	if k.udma != nil && k.udma.SystemQueueAvailable() {
+		var ticket *core.SysTicket
+		for {
+			if ticket = k.udma.EnqueueSystem(src, dst, count); ticket != nil {
+				break
+			}
+			k.blockOnEngine(p) // system queue full: wait for a completion
+		}
+		for !ticket.Done {
+			k.blockOnEngine(p)
+		}
+		return ticket.Err
+	}
+
+	for {
+		if !k.engine.Busy() {
+			if err := k.engine.Start(src, dst, count); err != nil {
+				return err
+			}
+			break
+		}
+		k.blockOnEngine(p)
+	}
+	// Sleep until this transfer's completion; the single request-level
+	// interrupt is charged by the caller.
+	for k.engine.Busy() {
+		k.blockOnEngine(p)
+	}
+	return nil
+}

@@ -1,0 +1,196 @@
+package kernel_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"shrimp/internal/addr"
+	"shrimp/internal/device"
+	"shrimp/internal/kernel"
+	"shrimp/internal/machine"
+)
+
+func TestDMAWriteArgumentValidation(t *testing.T) {
+	n, _ := newNode(t, machine.Config{})
+	var errZero, errNeg, errBadDev, errUndecoded error
+	n.Kernel.Spawn("p", func(p *kernel.Proc) {
+		va, _ := p.Alloc(4096)
+		errZero = p.DMAWrite(va, addr.DevProxy(0, 0), 0, kernel.DMAOptions{})
+		errNeg = p.DMAWrite(va, addr.DevProxy(0, 0), -8, kernel.DMAOptions{})
+		errBadDev = p.DMAWrite(va, addr.PAddr(0x1000), 64, kernel.DMAOptions{})
+		errUndecoded = p.DMAWrite(va, addr.DevProxy(3000, 0), 64, kernel.DMAOptions{})
+	})
+	run(t, n)
+	for name, err := range map[string]error{
+		"zero count": errZero, "negative count": errNeg,
+		"memory address as device": errBadDev, "undecoded device": errUndecoded,
+	} {
+		if err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestDMAWriteFromUnmappedMemorySegfaults(t *testing.T) {
+	n, _ := newNode(t, machine.Config{})
+	var err error
+	n.Kernel.Spawn("p", func(p *kernel.Proc) {
+		err = p.DMAWrite(0x0050_0000, addr.DevProxy(0, 0), 64, kernel.DMAOptions{})
+	})
+	run(t, n)
+	var sf *kernel.SegfaultError
+	if !errors.As(err, &sf) {
+		t.Fatalf("got %v, want segfault", err)
+	}
+	if n.Kernel.Stats().Pins != 0 {
+		t.Fatal("failed DMA left pages pinned")
+	}
+}
+
+func TestDMAReadIntoReadOnlyPageSegfaults(t *testing.T) {
+	n, _ := newNode(t, machine.Config{})
+	var err error
+	n.Kernel.Spawn("p", func(p *kernel.Proc) {
+		va, _ := p.AllocReadOnly(4096, nil)
+		err = p.DMARead(va, addr.DevProxy(0, 0), 64, kernel.DMAOptions{})
+	})
+	run(t, n)
+	var sf *kernel.SegfaultError
+	if !errors.As(err, &sf) {
+		t.Fatalf("got %v, want segfault", err)
+	}
+}
+
+func TestDMAWritePagesInSwappedSource(t *testing.T) {
+	// The syscall path must page in a swapped-out source page before
+	// pinning it — step 2 of the paper's traditional sequence.
+	n, buf := newNode(t, machine.Config{RAMFrames: 24})
+	payload := []byte("paged out then DMA'd")
+	var err error
+	n.Kernel.Spawn("p", func(p *kernel.Proc) {
+		va, _ := p.Alloc(4096)
+		p.WriteBuf(va, payload)
+		if !forceOut(p, va) {
+			err = errors.New("inconclusive: page never evicted")
+			return
+		}
+		err = p.DMAWrite(va, addr.DevProxy(0, 0), len(payload), kernel.DMAOptions{})
+	})
+	run(t, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(0, len(payload)), payload) {
+		t.Fatal("swapped source delivered wrong data")
+	}
+	if n.Kernel.Stats().PageIns == 0 {
+		t.Fatal("no page-in recorded")
+	}
+}
+
+func TestDMAWriteSpanningDevicePages(t *testing.T) {
+	// A transfer whose device range crosses device-page boundaries must
+	// be segmented on the device side too.
+	n, buf := newNode(t, machine.Config{})
+	payload := bytes.Repeat([]byte{0xCD}, 6000)
+	var err error
+	n.Kernel.Spawn("p", func(p *kernel.Proc) {
+		va, _ := p.Alloc(8192)
+		p.WriteBuf(va, payload)
+		err = p.DMAWrite(va, addr.DevProxy(0, 2048), len(payload), kernel.DMAOptions{})
+	})
+	run(t, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(2048, len(payload)), payload) {
+		t.Fatal("device-page-spanning transfer corrupted")
+	}
+}
+
+func TestBounceRoundTripRead(t *testing.T) {
+	n, buf := newNode(t, machine.Config{Kernel: kernel.Config{BounceFrames: 2}})
+	payload := bytes.Repeat([]byte{0x5A}, 3*4096) // larger than the bounce pool
+	buf.SetBytes(0, payload)
+	var got []byte
+	var err error
+	n.Kernel.Spawn("p", func(p *kernel.Proc) {
+		va, _ := p.Alloc(len(payload))
+		if err = p.DMARead(va, addr.DevProxy(0, 0), len(payload), kernel.DMAOptions{Bounce: true}); err != nil {
+			return
+		}
+		got, err = p.ReadBuf(va, len(payload))
+	})
+	run(t, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("bounce read corrupted data")
+	}
+}
+
+func TestMapDeviceUnattached(t *testing.T) {
+	n, _ := newNode(t, machine.Config{})
+	other := device.NewBuffer("elsewhere", 2, 0, 0)
+	var err error
+	n.Kernel.Spawn("p", func(p *kernel.Proc) {
+		_, err = p.MapDevice(other, true)
+	})
+	run(t, n)
+	if err == nil {
+		t.Fatal("MapDevice of unattached device succeeded")
+	}
+}
+
+func TestAllocValidation(t *testing.T) {
+	n, _ := newNode(t, machine.Config{})
+	var errZero, errNeg error
+	n.Kernel.Spawn("p", func(p *kernel.Proc) {
+		_, errZero = p.Alloc(0)
+		_, errNeg = p.Alloc(-5)
+	})
+	run(t, n)
+	if errZero == nil || errNeg == nil {
+		t.Fatal("bad Alloc sizes accepted")
+	}
+}
+
+func TestWriteBufReadBufSpanPages(t *testing.T) {
+	n, _ := newNode(t, machine.Config{})
+	payload := bytes.Repeat([]byte{7, 8, 9}, 3000) // 9000 bytes, 3 pages
+	var got []byte
+	var err error
+	n.Kernel.Spawn("p", func(p *kernel.Proc) {
+		va, _ := p.Alloc(3 * 4096)
+		if err = p.WriteBuf(va+100, payload); err != nil {
+			return
+		}
+		got, err = p.ReadBuf(va+100, len(payload))
+	})
+	run(t, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("page-spanning buffer round trip failed")
+	}
+}
+
+func TestPinUserPageErrors(t *testing.T) {
+	n, _ := newNode(t, machine.Config{})
+	var errUnmapped, errRO error
+	n.Kernel.Spawn("p", func(p *kernel.Proc) {
+		_, errUnmapped = n.Kernel.PinUserPage(p, 0x700)
+		va, _ := p.AllocReadOnly(4096, nil)
+		_, errRO = n.Kernel.PinUserPage(p, addr.VPN(va))
+	})
+	run(t, n)
+	if errUnmapped == nil {
+		t.Fatal("pin of unmapped page succeeded")
+	}
+	if errRO == nil {
+		t.Fatal("pin of read-only page succeeded")
+	}
+}

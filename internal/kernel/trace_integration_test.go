@@ -1,0 +1,67 @@
+package kernel_test
+
+import (
+	"testing"
+
+	"shrimp/internal/addr"
+	"shrimp/internal/core"
+	"shrimp/internal/kernel"
+	"shrimp/internal/machine"
+	"shrimp/internal/trace"
+)
+
+// TestTraceRecordsCanonicalSendSequence attaches a tracer and checks
+// the hardware event order of one two-instruction send: the STORE
+// latches, the LOAD initiates, the transfer completes — with the
+// demand-created proxy mappings faulting in between.
+func TestTraceRecordsCanonicalSendSequence(t *testing.T) {
+	n, buf := newNode(t, machine.Config{})
+	tr := trace.New(n.Clock, 128)
+	n.UDMA.SetTracer(tr)
+	n.Kernel.SetTracer(tr)
+
+	n.Kernel.Spawn("p", func(p *kernel.Proc) {
+		devVA, _ := p.MapDevice(buf, true)
+		va, _ := p.Alloc(4096)
+		p.WriteBuf(va, []byte{1, 2, 3, 4})
+		p.Store(devVA, 4)
+		p.Load(addr.VProxy(va))
+		for {
+			v, _ := p.Load(addr.VProxy(va))
+			if !core.Status(v).Match() {
+				break
+			}
+		}
+	})
+	run(t, n)
+
+	var order []trace.Kind
+	for _, e := range tr.Events() {
+		order = append(order, e.Kind)
+	}
+	// Find the canonical subsequence store → initiate → xfer-done.
+	want := []trace.Kind{trace.EvStore, trace.EvInitiation, trace.EvTransferDone}
+	wi := 0
+	for _, k := range order {
+		if wi < len(want) && k == want[wi] {
+			wi++
+		}
+	}
+	if wi != len(want) {
+		t.Fatalf("canonical sequence not found in trace: %v", order)
+	}
+	counts := tr.Counts()
+	if counts[trace.EvProxyFault] == 0 {
+		t.Fatal("no proxy faults traced: on-demand mapping invisible")
+	}
+	if counts[trace.EvInitiation] != 1 {
+		t.Fatalf("initiations traced: %d", counts[trace.EvInitiation])
+	}
+	// Timestamps are monotone.
+	evs := tr.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].At < evs[i-1].At {
+			t.Fatalf("trace timestamps not monotone: %v then %v", evs[i-1], evs[i])
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package mem
+
+import (
+	"fmt"
+
+	"shrimp/internal/addr"
+)
+
+// BackingStore models the swap device: page-granular storage indexed by
+// an opaque slot number. The kernel writes a dirty page out to clean it
+// and reads a page back in on a page fault. Timing is charged by the
+// kernel (sim.CostModel.PageCleanCost / PageInLatency); this type only
+// stores bytes.
+type BackingStore struct {
+	slots map[uint32][]byte
+	next  uint32
+}
+
+// NewBackingStore returns an empty swap device.
+func NewBackingStore() *BackingStore {
+	return &BackingStore{slots: make(map[uint32][]byte)}
+}
+
+// Alloc reserves a fresh slot and returns its number. Fresh slots read
+// back as zero pages until written.
+func (b *BackingStore) Alloc() uint32 {
+	s := b.next
+	b.next++
+	b.slots[s] = nil
+	return s
+}
+
+// Free releases a slot. Freeing an unknown slot is an error: it means
+// the kernel's swap bookkeeping is corrupt.
+func (b *BackingStore) Free(slot uint32) error {
+	if _, ok := b.slots[slot]; !ok {
+		return fmt.Errorf("mem: free of unallocated swap slot %d", slot)
+	}
+	delete(b.slots, slot)
+	return nil
+}
+
+// WritePage stores a page (PageSize bytes) into slot.
+func (b *BackingStore) WritePage(slot uint32, page []byte) error {
+	if _, ok := b.slots[slot]; !ok {
+		return fmt.Errorf("mem: write to unallocated swap slot %d", slot)
+	}
+	if len(page) != addr.PageSize {
+		return fmt.Errorf("mem: swap write of %d bytes, want %d", len(page), addr.PageSize)
+	}
+	cp := make([]byte, addr.PageSize)
+	copy(cp, page)
+	b.slots[slot] = cp
+	return nil
+}
+
+// ReadPage returns the contents of slot (a zero page if never written).
+func (b *BackingStore) ReadPage(slot uint32) ([]byte, error) {
+	data, ok := b.slots[slot]
+	if !ok {
+		return nil, fmt.Errorf("mem: read of unallocated swap slot %d", slot)
+	}
+	page := make([]byte, addr.PageSize)
+	copy(page, data) // nil data copies nothing: zero page
+	return page, nil
+}
+
+// Len returns the number of allocated slots.
+func (b *BackingStore) Len() int { return len(b.slots) }

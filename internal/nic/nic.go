@@ -1,0 +1,309 @@
+// Package nic implements the SHRIMP network interface of the paper's
+// Section 8 and Figure 6: a UDMA device whose device-proxy pages index
+// the Network Interface Page Table (NIPT), a packetizer that turns a
+// completed memory→NIC DMA into a network packet ("deliberate update"),
+// receive-side DMA logic that writes arriving packets straight into
+// physical memory, and — for the Section 9 comparison — a memory-mapped
+// FIFO programmed-I/O mode.
+package nic
+
+import (
+	"fmt"
+
+	"shrimp/internal/addr"
+	"shrimp/internal/bus"
+	"shrimp/internal/device"
+	"shrimp/internal/interconnect"
+	"shrimp/internal/mem"
+	"shrimp/internal/sim"
+	"shrimp/internal/trace"
+)
+
+// NIPTEntry names a remote physical page: "each entry of which
+// specifies a remote node and a physical memory page on that node."
+type NIPTEntry struct {
+	Valid    bool
+	DestNode int
+	DestPFN  uint32
+}
+
+// Stats counts NIC activity.
+type Stats struct {
+	PacketsSent     uint64
+	BytesSent       uint64
+	PacketsReceived uint64
+	BytesReceived   uint64
+	PIOWords        uint64
+	RecvDrops       uint64 // packets addressed outside installed RAM
+	// LastRecvAt is the receiver-clock completion time of the most
+	// recent receive DMA (latency measurements).
+	LastRecvAt sim.Cycles
+	// Automatic-update counters (see autoupdate.go).
+	AutoWords   uint64 // snooped 32-bit stores
+	AutoPackets uint64 // combined packets launched
+	AutoDrops   uint64 // words/bursts dropped for invalid entries
+}
+
+// Interface is one node's SHRIMP network interface board.
+//
+// Send path (deliberate update): a UDMA transfer moves data from memory
+// to the NIC; the device-proxy page of the *destination* indexes the
+// NIPT, whose entry plus the page offset forms the remote physical
+// address; the board assembles a packet and launches it.
+//
+// Receive path: arriving packets are written into physical memory by
+// the board's EISA DMA logic with no CPU involvement.
+type Interface struct {
+	nodeID int
+	clock  *sim.Clock
+	costs  *sim.CostModel
+	ram    *mem.Physical
+	iobus  *bus.Bus
+	net    *interconnect.Backplane
+
+	nipt []NIPTEntry
+
+	pioPages uint32 // PIO window pages appended after the NIPT pages
+	pio      pioState
+	auto     autoUpdateState
+
+	tracer *trace.Tracer // nil = tracing off
+
+	stats Stats
+}
+
+// pioState is the memory-mapped FIFO mode's register file.
+type pioState struct {
+	destWord uint32 // device-proxy page index << 12 | offset
+	buf      []byte
+}
+
+// PIO register offsets within the PIO window's first page.
+const (
+	PIORegDest   = 0  // store: set destination (NIPT index<<12 | page offset)
+	PIORegData   = 4  // store: push one 32-bit data word
+	PIORegLaunch = 8  // store: launch the accumulated packet
+	PIORegStatus = 12 // load: FIFO status (always ready in this model)
+)
+
+// Config sizes the board.
+type Config struct {
+	// NIPTPages is the NIPT size; the SHRIMP board indexes it with 15
+	// bits, giving 32 K destination pages (the default).
+	NIPTPages uint32
+	// PIOWindow enables the memory-mapped FIFO mode with one register
+	// page after the NIPT pages.
+	PIOWindow bool
+}
+
+// New builds a network interface for a node.
+func New(nodeID int, clock *sim.Clock, costs *sim.CostModel, ram *mem.Physical,
+	iobus *bus.Bus, net *interconnect.Backplane, cfg Config) *Interface {
+	if clock == nil || costs == nil || ram == nil || iobus == nil || net == nil {
+		panic("nic: New requires non-nil dependencies")
+	}
+	pages := cfg.NIPTPages
+	if pages == 0 {
+		pages = 32768 // 15-bit NIPT index
+	}
+	nic := &Interface{
+		nodeID: nodeID,
+		clock:  clock,
+		costs:  costs,
+		ram:    ram,
+		iobus:  iobus,
+		net:    net,
+		nipt:   make([]NIPTEntry, pages),
+	}
+	if cfg.PIOWindow {
+		nic.pioPages = 1
+	}
+	net.Attach(nic)
+	return nic
+}
+
+// --- NIPT management (privileged: called by kernel-level mapping code) ---
+
+// SetTracer attaches an event tracer (nil disables tracing).
+func (n *Interface) SetTracer(t *trace.Tracer) { n.tracer = t }
+
+// SetNIPT installs an entry. Index range is checked; the kernel owns
+// the policy of which process may install what.
+func (n *Interface) SetNIPT(index uint32, e NIPTEntry) error {
+	if index >= uint32(len(n.nipt)) {
+		return fmt.Errorf("nic: NIPT index %d out of range (%d entries)", index, len(n.nipt))
+	}
+	n.nipt[index] = e
+	return nil
+}
+
+// NIPT returns the entry at index (tests and diagnostics).
+func (n *Interface) NIPT(index uint32) (NIPTEntry, error) {
+	if index >= uint32(len(n.nipt)) {
+		return NIPTEntry{}, fmt.Errorf("nic: NIPT index %d out of range", index)
+	}
+	return n.nipt[index], nil
+}
+
+// NIPTSize returns the number of NIPT entries.
+func (n *Interface) NIPTSize() uint32 { return uint32(len(n.nipt)) }
+
+// Stats returns a copy of the counters.
+func (n *Interface) Stats() Stats { return n.stats }
+
+// --- device.Device (the UDMA send path) -------------------------------------
+
+// Name implements device.Device.
+func (n *Interface) Name() string { return fmt.Sprintf("shrimp-nic%d", n.nodeID) }
+
+// Pages implements device.Device: one proxy page per NIPT entry, plus
+// the PIO window.
+func (n *Interface) Pages() uint32 { return uint32(len(n.nipt)) + n.pioPages }
+
+// CheckTransfer implements device.Device. The SHRIMP board accepts
+// only memory→device transfers ("SHRIMP uses UDMA only for
+// memory-to-device transfers"), requires 4-byte alignment, and requires
+// a valid NIPT entry.
+func (n *Interface) CheckTransfer(da device.DevAddr, nbytes int, toDevice bool) device.ErrBits {
+	var bits device.ErrBits
+	if !toDevice {
+		bits |= device.ErrReadOnly
+	}
+	if da.Page >= uint32(len(n.nipt)) {
+		// PIO window or beyond: not a DMA target.
+		return bits | device.ErrBounds
+	}
+	if da.Off%4 != 0 || nbytes%4 != 0 {
+		bits |= device.ErrAlignment
+	}
+	if !n.nipt[da.Page].Valid {
+		bits |= device.ErrInvalidEntry
+	}
+	return bits
+}
+
+// TransferLatency implements device.Device: NIPT lookup + header
+// assembly + FIFO/launch overhead per packet.
+func (n *Interface) TransferLatency(device.DevAddr, int) sim.Cycles {
+	return n.costs.NIPTLookup + n.costs.PacketHeader + n.costs.PacketPerPage
+}
+
+// Write implements device.Device: the DMA engine delivers the payload,
+// the board forms the packet and launches it into the backplane.
+func (n *Interface) Write(da device.DevAddr, data []byte, now sim.Cycles) error {
+	e := n.nipt[da.Page]
+	if !e.Valid {
+		return fmt.Errorf("nic: write through invalid NIPT entry %d", da.Page)
+	}
+	return n.launch(e, da.Off, data)
+}
+
+// Read implements device.Device; the send-only SHRIMP board rejects it.
+func (n *Interface) Read(device.DevAddr, int, sim.Cycles) ([]byte, error) {
+	return nil, fmt.Errorf("nic: %s does not support device-to-memory UDMA", n.Name())
+}
+
+func (n *Interface) launch(e NIPTEntry, off uint32, data []byte) error {
+	// "The destination page number is concatenated with the offset to
+	// form the destination physical address."
+	destAddr := addr.PAddr(e.DestPFN<<addr.PageShift | off)
+	payload := make([]byte, len(data))
+	copy(payload, data)
+	n.net.Send(&interconnect.Packet{
+		Src:      n.nodeID,
+		Dst:      e.DestNode,
+		DestAddr: destAddr,
+		Payload:  payload,
+	})
+	n.stats.PacketsSent++
+	n.stats.BytesSent += uint64(len(data))
+	n.tracer.Record(trace.EvPacketSend, uint64(e.DestNode), uint64(len(data)), "")
+	return nil
+}
+
+// --- interconnect.Endpoint (the receive path) --------------------------------
+
+// NodeID implements interconnect.Endpoint.
+func (n *Interface) NodeID() int { return n.nodeID }
+
+// NodeClock implements interconnect.Endpoint.
+func (n *Interface) NodeClock() *sim.Clock { return n.clock }
+
+// DeliverPacket implements interconnect.Endpoint: "At the receiving
+// node, packet data is transferred directly to physical memory by the
+// EISA DMA Logic." The receive DMA occupies the node's I/O bus like
+// any burst, then the data lands.
+func (n *Interface) DeliverPacket(pkt *interconnect.Packet) {
+	if !n.ram.Contains(pkt.DestAddr, len(pkt.Payload)) {
+		// A corrupt NIPT entry on the sender named memory we don't
+		// have; drop and count (a real board would raise an error
+		// interrupt).
+		n.stats.RecvDrops++
+		return
+	}
+	_, end := n.iobus.ReserveBurst(n.clock.Now()+n.costs.RecvDMAStartup, len(pkt.Payload))
+	dest := pkt.DestAddr
+	payload := pkt.Payload
+	n.clock.Schedule(end, "recv-dma-complete", func() {
+		if err := n.ram.Write(dest, payload); err != nil {
+			n.stats.RecvDrops++
+			return
+		}
+		n.stats.PacketsReceived++
+		n.stats.BytesReceived += uint64(len(payload))
+		n.stats.LastRecvAt = n.clock.Now()
+		n.tracer.Record(trace.EvPacketRecv, uint64(pkt.Src), uint64(len(payload)), "")
+	})
+}
+
+// --- device.PIODevice (the Section 9 FIFO baseline) ---------------------------
+
+// PIOWindow implements device.PIODevice.
+func (n *Interface) PIOWindow() (first, count uint32, ok bool) {
+	if n.pioPages == 0 {
+		return 0, 0, false
+	}
+	return uint32(len(n.nipt)), n.pioPages, true
+}
+
+// PIOStore implements device.PIODevice: the word-at-a-time FIFO
+// protocol. The bus word cost is charged by the kernel's router.
+func (n *Interface) PIOStore(da device.DevAddr, v uint32) {
+	n.stats.PIOWords++
+	switch da.Off {
+	case PIORegDest:
+		n.pio.destWord = v
+		n.pio.buf = n.pio.buf[:0]
+	case PIORegData:
+		n.pio.buf = append(n.pio.buf,
+			byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	case PIORegLaunch:
+		idx := n.pio.destWord >> addr.PageShift
+		off := n.pio.destWord & addr.OffsetMask
+		if idx >= uint32(len(n.nipt)) || !n.nipt[idx].Valid {
+			n.pio.buf = n.pio.buf[:0]
+			return
+		}
+		// Header assembly still costs time on the board, but the
+		// launch is asynchronous to the CPU.
+		data := make([]byte, len(n.pio.buf))
+		copy(data, n.pio.buf)
+		n.pio.buf = n.pio.buf[:0]
+		n.launch(n.nipt[idx], off, data)
+	}
+}
+
+// PIOLoad implements device.PIODevice.
+func (n *Interface) PIOLoad(da device.DevAddr) uint32 {
+	n.stats.PIOWords++
+	if da.Off == PIORegStatus {
+		return 1 // FIFO ready
+	}
+	return 0
+}
+
+var (
+	_ device.Device         = (*Interface)(nil)
+	_ device.PIODevice      = (*Interface)(nil)
+	_ interconnect.Endpoint = (*Interface)(nil)
+)

@@ -1,0 +1,172 @@
+// Package sim provides the deterministic simulation substrate used by
+// every other package in this repository: a cycle-granular clock, an
+// event queue for future hardware events (DMA completions, packet
+// arrivals), a named cost model, and a seeded random number generator.
+//
+// All time in the simulator is expressed in CPU cycles of the simulated
+// machine. The cost model carries the cycle frequency so results can be
+// reported in seconds.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Cycles is a point in simulated time, or a duration, measured in CPU
+// clock cycles of the simulated machine.
+type Cycles uint64
+
+// Forever is a sentinel meaning "no deadline".
+const Forever Cycles = math.MaxUint64
+
+// Event is a callback scheduled to fire at a particular simulated time.
+type Event struct {
+	At   Cycles
+	Name string
+	Fire func()
+
+	seq   uint64 // tie-break so equal-time events fire in schedule order
+	index int    // heap index; -1 once popped or cancelled
+}
+
+// Clock is the single source of simulated time. Components advance it
+// as they consume cycles; scheduled events fire as time passes over
+// them. Clock is not safe for concurrent use: the simulator is
+// deterministic and single-threaded by design (see DESIGN.md §6).
+type Clock struct {
+	now    Cycles
+	events eventHeap
+	seq    uint64
+}
+
+// NewClock returns a clock at time zero with no pending events.
+func NewClock() *Clock {
+	return &Clock{}
+}
+
+// Now returns the current simulated time.
+func (c *Clock) Now() Cycles { return c.now }
+
+// Schedule registers fn to run when the clock reaches 'at'. If 'at' is
+// in the past it fires on the next Advance (time never moves backward).
+// The returned event may be passed to Cancel.
+func (c *Clock) Schedule(at Cycles, name string, fn func()) *Event {
+	if fn == nil {
+		panic("sim: Schedule with nil func")
+	}
+	ev := &Event{At: at, Name: name, Fire: fn, seq: c.seq}
+	c.seq++
+	heap.Push(&c.events, ev)
+	return ev
+}
+
+// ScheduleAfter registers fn to run delta cycles from now, saturating
+// at Forever rather than wrapping around.
+func (c *Clock) ScheduleAfter(delta Cycles, name string, fn func()) *Event {
+	at := c.now + delta
+	if at < c.now { // overflow
+		at = Forever
+	}
+	return c.Schedule(at, name, fn)
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (c *Clock) Cancel(ev *Event) {
+	if ev == nil || ev.index < 0 {
+		return
+	}
+	heap.Remove(&c.events, ev.index)
+	ev.index = -1
+}
+
+// Advance moves time forward by delta cycles, firing any events whose
+// time is reached, in time order (FIFO among equal times).
+func (c *Clock) Advance(delta Cycles) {
+	c.AdvanceTo(c.now + delta)
+}
+
+// AdvanceTo moves time forward to 'at', firing due events in order.
+// Time never moves backward, but a deadline at or before the present
+// still fires any events that are already due. Events scheduled by
+// fired events are honored if they land within the window.
+func (c *Clock) AdvanceTo(at Cycles) {
+	if at < c.now {
+		at = c.now
+	}
+	for len(c.events) > 0 && c.events[0].At <= at {
+		ev := heap.Pop(&c.events).(*Event)
+		ev.index = -1
+		if ev.At > c.now {
+			c.now = ev.At
+		}
+		ev.Fire()
+	}
+	if at > c.now {
+		c.now = at
+	}
+}
+
+// RunUntilIdle fires all pending events in order, advancing time to
+// each, and returns the number fired. Useful for draining in-flight
+// hardware activity at the end of a run.
+func (c *Clock) RunUntilIdle() int {
+	n := 0
+	for len(c.events) > 0 {
+		ev := heap.Pop(&c.events).(*Event)
+		ev.index = -1
+		if ev.At > c.now {
+			c.now = ev.At
+		}
+		ev.Fire()
+		n++
+	}
+	return n
+}
+
+// NextEventAt returns the time of the earliest pending event and true,
+// or (0, false) if none is pending.
+func (c *Clock) NextEventAt() (Cycles, bool) {
+	if len(c.events) == 0 {
+		return 0, false
+	}
+	return c.events[0].At, true
+}
+
+// Pending returns the number of scheduled, unfired events.
+func (c *Clock) Pending() int { return len(c.events) }
+
+func (c *Clock) String() string {
+	return fmt.Sprintf("clock(now=%d, pending=%d)", c.now, len(c.events))
+}
+
+// eventHeap is a min-heap ordered by (At, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

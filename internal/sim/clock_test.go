@@ -1,0 +1,260 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	c := NewClock()
+	if c.Now() != 0 {
+		t.Fatalf("new clock Now() = %d, want 0", c.Now())
+	}
+	if c.Pending() != 0 {
+		t.Fatalf("new clock Pending() = %d, want 0", c.Pending())
+	}
+}
+
+func TestAdvanceMovesTime(t *testing.T) {
+	c := NewClock()
+	c.Advance(100)
+	if c.Now() != 100 {
+		t.Fatalf("Now() = %d, want 100", c.Now())
+	}
+	c.Advance(0)
+	if c.Now() != 100 {
+		t.Fatalf("Advance(0) changed time to %d", c.Now())
+	}
+}
+
+func TestAdvanceToNeverMovesBackward(t *testing.T) {
+	c := NewClock()
+	c.Advance(50)
+	c.AdvanceTo(10)
+	if c.Now() != 50 {
+		t.Fatalf("AdvanceTo(past) moved time to %d, want 50", c.Now())
+	}
+}
+
+func TestEventFiresAtScheduledTime(t *testing.T) {
+	c := NewClock()
+	var firedAt Cycles
+	c.Schedule(42, "tick", func() { firedAt = c.Now() })
+
+	c.Advance(41)
+	if firedAt != 0 {
+		t.Fatalf("event fired early at %d", firedAt)
+	}
+	c.Advance(1)
+	if firedAt != 42 {
+		t.Fatalf("event fired at %d, want 42", firedAt)
+	}
+}
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	c := NewClock()
+	var order []string
+	c.Schedule(30, "c", func() { order = append(order, "c") })
+	c.Schedule(10, "a", func() { order = append(order, "a") })
+	c.Schedule(20, "b", func() { order = append(order, "b") })
+	c.Advance(100)
+	if got := len(order); got != 3 {
+		t.Fatalf("fired %d events, want 3", got)
+	}
+	if order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Fatalf("fire order = %v, want [a b c]", order)
+	}
+}
+
+func TestEqualTimeEventsFireFIFO(t *testing.T) {
+	c := NewClock()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		c.Schedule(5, "e", func() { order = append(order, i) })
+	}
+	c.Advance(5)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("equal-time events fired out of order: %v", order)
+		}
+	}
+}
+
+func TestScheduleAfterIsRelative(t *testing.T) {
+	c := NewClock()
+	c.Advance(100)
+	fired := false
+	c.ScheduleAfter(10, "rel", func() { fired = true })
+	c.Advance(9)
+	if fired {
+		t.Fatal("relative event fired early")
+	}
+	c.Advance(1)
+	if !fired {
+		t.Fatal("relative event did not fire at now+10")
+	}
+}
+
+func TestCancelPreventsFiring(t *testing.T) {
+	c := NewClock()
+	fired := false
+	ev := c.Schedule(10, "x", func() { fired = true })
+	c.Cancel(ev)
+	c.Advance(100)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	// Double-cancel and nil-cancel are no-ops.
+	c.Cancel(ev)
+	c.Cancel(nil)
+}
+
+func TestCancelOneOfMany(t *testing.T) {
+	c := NewClock()
+	var order []string
+	a := c.Schedule(10, "a", func() { order = append(order, "a") })
+	c.Schedule(20, "b", func() { order = append(order, "b") })
+	c.Schedule(30, "c", func() { order = append(order, "c") })
+	c.Cancel(a)
+	c.Advance(100)
+	if len(order) != 2 || order[0] != "b" || order[1] != "c" {
+		t.Fatalf("after cancel, order = %v, want [b c]", order)
+	}
+}
+
+func TestEventFiringSchedulesEvent(t *testing.T) {
+	c := NewClock()
+	var times []Cycles
+	c.Schedule(10, "first", func() {
+		times = append(times, c.Now())
+		c.ScheduleAfter(5, "second", func() {
+			times = append(times, c.Now())
+		})
+	})
+	c.Advance(100)
+	if len(times) != 2 || times[0] != 10 || times[1] != 15 {
+		t.Fatalf("chained events fired at %v, want [10 15]", times)
+	}
+}
+
+func TestClockAdvancesToEventTimeBeforeFiring(t *testing.T) {
+	c := NewClock()
+	var seen Cycles
+	c.Schedule(25, "e", func() { seen = c.Now() })
+	c.Advance(100)
+	if seen != 25 {
+		t.Fatalf("event observed Now()=%d, want 25", seen)
+	}
+	if c.Now() != 100 {
+		t.Fatalf("final Now()=%d, want 100", c.Now())
+	}
+}
+
+func TestRunUntilIdle(t *testing.T) {
+	c := NewClock()
+	count := 0
+	c.Schedule(10, "a", func() { count++ })
+	c.Schedule(1000, "b", func() {
+		count++
+		c.ScheduleAfter(1, "c", func() { count++ })
+	})
+	n := c.RunUntilIdle()
+	if n != 3 || count != 3 {
+		t.Fatalf("RunUntilIdle fired %d (count %d), want 3", n, count)
+	}
+	if c.Now() != 1001 {
+		t.Fatalf("Now() after drain = %d, want 1001", c.Now())
+	}
+}
+
+func TestNextEventAt(t *testing.T) {
+	c := NewClock()
+	if _, ok := c.NextEventAt(); ok {
+		t.Fatal("NextEventAt on empty clock returned ok")
+	}
+	c.Schedule(77, "e", func() {})
+	at, ok := c.NextEventAt()
+	if !ok || at != 77 {
+		t.Fatalf("NextEventAt = (%d,%v), want (77,true)", at, ok)
+	}
+}
+
+func TestScheduleNilFuncPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Schedule(nil) did not panic")
+		}
+	}()
+	NewClock().Schedule(1, "bad", nil)
+}
+
+// Property: for any set of scheduled times, events fire in nondecreasing
+// time order and the clock never runs backward.
+func TestEventOrderProperty(t *testing.T) {
+	prop := func(deltas []uint16) bool {
+		c := NewClock()
+		var fired []Cycles
+		for _, d := range deltas {
+			at := Cycles(d)
+			c.Schedule(at, "p", func() { fired = append(fired, c.Now()) })
+		}
+		c.RunUntilIdle()
+		if len(fired) != len(deltas) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventCancelsAnotherWhileFiring(t *testing.T) {
+	// A firing event may cancel a later pending event; the heap must
+	// stay consistent and the cancelled event must not fire.
+	c := NewClock()
+	var later *Event
+	fired := []string{}
+	c.Schedule(10, "first", func() {
+		fired = append(fired, "first")
+		c.Cancel(later)
+	})
+	later = c.Schedule(20, "later", func() { fired = append(fired, "later") })
+	c.Schedule(30, "third", func() { fired = append(fired, "third") })
+	c.RunUntilIdle()
+	if len(fired) != 2 || fired[0] != "first" || fired[1] != "third" {
+		t.Fatalf("fired %v, want [first third]", fired)
+	}
+}
+
+func TestEventReschedulesItselfBounded(t *testing.T) {
+	c := NewClock()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 5 {
+			c.ScheduleAfter(10, "tick", tick)
+		}
+	}
+	c.ScheduleAfter(10, "tick", tick)
+	c.RunUntilIdle()
+	if count != 5 || c.Now() != 50 {
+		t.Fatalf("count=%d now=%d, want 5 at 50", count, c.Now())
+	}
+}
+
+func TestClockString(t *testing.T) {
+	c := NewClock()
+	c.Schedule(5, "e", func() {})
+	c.Advance(3)
+	if got := c.String(); got != "clock(now=3, pending=1)" {
+		t.Fatalf("String() = %q", got)
+	}
+}

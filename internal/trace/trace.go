@@ -1,0 +1,199 @@
+// Package trace provides a lightweight event tracer for the simulated
+// machine: a fixed-capacity ring buffer of timestamped events that the
+// UDMA controller, kernel and network interface feed when a tracer is
+// attached. It exists for the same reason hardware people put logic
+// analyzers on buses — the interesting bugs in this system are
+// orderings (a context-switch Inval landing between two references, an
+// eviction racing a transfer), and a linear event record is how you see
+// them.
+//
+// Tracing is strictly opt-in and free when disabled: components hold a
+// nil *Tracer and skip the call.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"shrimp/internal/sim"
+)
+
+// Kind classifies an event.
+type Kind int
+
+const (
+	// UDMA controller events.
+	EvStore Kind = iota
+	EvLoad
+	EvInval
+	EvInitiation
+	EvBadLoad
+	EvTransferDone
+	EvTerminate
+	// Kernel events.
+	EvContextSwitch
+	EvPageFault
+	EvProxyFault
+	EvEviction
+	EvPageIn
+	EvSegfault
+	// Network events.
+	EvPacketSend
+	EvPacketRecv
+)
+
+var kindNames = map[Kind]string{
+	EvStore:         "store",
+	EvLoad:          "load",
+	EvInval:         "inval",
+	EvInitiation:    "initiate",
+	EvBadLoad:       "badload",
+	EvTransferDone:  "xfer-done",
+	EvTerminate:     "terminate",
+	EvContextSwitch: "ctx-switch",
+	EvPageFault:     "page-fault",
+	EvProxyFault:    "proxy-fault",
+	EvEviction:      "evict",
+	EvPageIn:        "page-in",
+	EvSegfault:      "segfault",
+	EvPacketSend:    "pkt-send",
+	EvPacketRecv:    "pkt-recv",
+}
+
+// String returns the event kind's short name.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Event is one trace record. A and B carry kind-specific operands
+// (addresses, counts, pids); Note is optional human context.
+type Event struct {
+	At   sim.Cycles
+	Kind Kind
+	A, B uint64
+	Note string
+}
+
+func (e Event) String() string {
+	s := fmt.Sprintf("%10d  %-11s a=%#x b=%#x", e.At, e.Kind, e.A, e.B)
+	if e.Note != "" {
+		s += "  " + e.Note
+	}
+	return s
+}
+
+// Tracer is a fixed-capacity ring buffer of events. The zero value is
+// unusable; call New. A nil *Tracer is a valid "tracing off" value:
+// Record on nil is a no-op.
+type Tracer struct {
+	clock *sim.Clock
+	ring  []Event
+	next  int
+	full  bool
+	total uint64
+
+	filter map[Kind]bool // nil = record everything
+}
+
+// New returns a tracer recording up to capacity events on the clock.
+func New(clock *sim.Clock, capacity int) *Tracer {
+	if clock == nil {
+		panic("trace: New requires a clock")
+	}
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &Tracer{clock: clock, ring: make([]Event, capacity)}
+}
+
+// Filter restricts recording to the given kinds (nil/empty clears the
+// filter).
+func (t *Tracer) Filter(kinds ...Kind) {
+	if len(kinds) == 0 {
+		t.filter = nil
+		return
+	}
+	t.filter = make(map[Kind]bool, len(kinds))
+	for _, k := range kinds {
+		t.filter[k] = true
+	}
+}
+
+// Record appends an event. Safe to call on a nil tracer.
+func (t *Tracer) Record(kind Kind, a, b uint64, note string) {
+	if t == nil {
+		return
+	}
+	if t.filter != nil && !t.filter[kind] {
+		return
+	}
+	t.ring[t.next] = Event{At: t.clock.Now(), Kind: kind, A: a, B: b, Note: note}
+	t.next++
+	t.total++
+	if t.next == len(t.ring) {
+		t.next = 0
+		t.full = true
+	}
+}
+
+// Events returns the recorded events, oldest first.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	if !t.full {
+		out := make([]Event, t.next)
+		copy(out, t.ring[:t.next])
+		return out
+	}
+	out := make([]Event, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// Total returns how many events were recorded (including overwritten).
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.total
+}
+
+// Dump writes the buffered events to w, one per line.
+func (t *Tracer) Dump(w io.Writer) {
+	if t == nil {
+		return
+	}
+	for _, e := range t.Events() {
+		fmt.Fprintln(w, e)
+	}
+}
+
+// Counts returns per-kind event counts from the buffer.
+func (t *Tracer) Counts() map[Kind]uint64 {
+	out := make(map[Kind]uint64)
+	for _, e := range t.Events() {
+		out[e.Kind]++
+	}
+	return out
+}
+
+// Summary renders the per-kind counts compactly.
+func (t *Tracer) Summary() string {
+	counts := t.Counts()
+	var parts []string
+	for k := EvStore; k <= EvPacketRecv; k++ {
+		if c := counts[k]; c > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", k, c))
+		}
+	}
+	if len(parts) == 0 {
+		return "(no events)"
+	}
+	return strings.Join(parts, " ")
+}

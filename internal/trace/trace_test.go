@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"shrimp/internal/sim"
+)
+
+func TestRecordAndEvents(t *testing.T) {
+	clock := sim.NewClock()
+	tr := New(clock, 8)
+	tr.Record(EvStore, 0x1000, 64, "")
+	clock.Advance(10)
+	tr.Record(EvLoad, 0x2000, 0, "poll")
+
+	evs := tr.Events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	if evs[0].Kind != EvStore || evs[0].At != 0 || evs[0].A != 0x1000 {
+		t.Fatalf("first event %+v", evs[0])
+	}
+	if evs[1].Kind != EvLoad || evs[1].At != 10 || evs[1].Note != "poll" {
+		t.Fatalf("second event %+v", evs[1])
+	}
+	if tr.Total() != 2 {
+		t.Fatalf("Total = %d", tr.Total())
+	}
+}
+
+func TestRingWrapKeepsNewest(t *testing.T) {
+	clock := sim.NewClock()
+	tr := New(clock, 4)
+	for i := 0; i < 10; i++ {
+		tr.Record(EvStore, uint64(i), 0, "")
+		clock.Advance(1)
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(evs))
+	}
+	for i, e := range evs {
+		if e.A != uint64(6+i) {
+			t.Fatalf("ring order wrong: %+v", evs)
+		}
+	}
+	if tr.Total() != 10 {
+		t.Fatalf("Total = %d", tr.Total())
+	}
+}
+
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Record(EvStore, 1, 2, "x") // must not panic
+	if tr.Events() != nil {
+		t.Fatal("nil tracer has events")
+	}
+	if tr.Total() != 0 {
+		t.Fatal("nil tracer has total")
+	}
+	var buf bytes.Buffer
+	tr.Dump(&buf)
+	if buf.Len() != 0 {
+		t.Fatal("nil tracer dumped output")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	tr := New(sim.NewClock(), 16)
+	tr.Filter(EvInitiation, EvBadLoad)
+	tr.Record(EvStore, 1, 0, "")
+	tr.Record(EvInitiation, 2, 0, "")
+	tr.Record(EvLoad, 3, 0, "")
+	tr.Record(EvBadLoad, 4, 0, "")
+	evs := tr.Events()
+	if len(evs) != 2 || evs[0].Kind != EvInitiation || evs[1].Kind != EvBadLoad {
+		t.Fatalf("filtered events: %+v", evs)
+	}
+	tr.Filter() // clear
+	tr.Record(EvStore, 5, 0, "")
+	if len(tr.Events()) != 3 {
+		t.Fatal("filter not cleared")
+	}
+}
+
+func TestDumpAndSummary(t *testing.T) {
+	tr := New(sim.NewClock(), 16)
+	tr.Record(EvInitiation, 0x5000, 0x80000000, "64B")
+	tr.Record(EvInitiation, 0x6000, 0x80001000, "")
+	tr.Record(EvPacketSend, 1, 4096, "")
+	var buf bytes.Buffer
+	tr.Dump(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "initiate") || !strings.Contains(out, "pkt-send") {
+		t.Fatalf("dump missing kinds:\n%s", out)
+	}
+	if !strings.Contains(out, "64B") {
+		t.Fatal("dump missing note")
+	}
+	sum := tr.Summary()
+	if !strings.Contains(sum, "initiate=2") || !strings.Contains(sum, "pkt-send=1") {
+		t.Fatalf("summary = %q", sum)
+	}
+	if New(sim.NewClock(), 4).Summary() != "(no events)" {
+		t.Fatal("empty summary wrong")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if EvStore.String() != "store" || EvPacketRecv.String() != "pkt-recv" {
+		t.Fatal("kind names wrong")
+	}
+	if Kind(99).String() != "kind(99)" {
+		t.Fatal("unknown kind name wrong")
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	tr := New(sim.NewClock(), 0)
+	for i := 0; i < 2000; i++ {
+		tr.Record(EvStore, 0, 0, "")
+	}
+	if got := len(tr.Events()); got != 1024 {
+		t.Fatalf("default capacity held %d", got)
+	}
+}
+
+func TestNewRequiresClock(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(nil) did not panic")
+		}
+	}()
+	New(nil, 8)
+}

@@ -1,0 +1,110 @@
+package udmalib_test
+
+import (
+	"bytes"
+	"testing"
+
+	"shrimp/internal/addr"
+	"shrimp/internal/core"
+	"shrimp/internal/kernel"
+	"shrimp/internal/machine"
+	"shrimp/internal/udmalib"
+)
+
+func TestSendGatherScattersSegments(t *testing.T) {
+	n, buf := newNode(t, machine.Config{UDMA: core.Config{QueueDepth: 8}})
+	var err2 error
+	n.Kernel.Spawn("p", func(p *kernel.Proc) {
+		d, _ := udmalib.Open(p, buf, true)
+		va, _ := p.Alloc(4096)
+		p.WriteBuf(va, pattern(1024))
+		// Three non-contiguous pieces of the source page to three
+		// non-contiguous device locations.
+		err2 = d.SendGather([]udmalib.Segment{
+			{VA: va, DevOff: 512, N: 128},
+			{VA: va + 256, DevOff: 2048, N: 64},
+			{VA: va + 512, DevOff: 8192, N: 256},
+		})
+	})
+	run(t, n)
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	src := pattern(1024)
+	if !bytes.Equal(buf.Bytes(512, 128), src[:128]) {
+		t.Fatal("segment 1 wrong")
+	}
+	if !bytes.Equal(buf.Bytes(2048, 64), src[256:320]) {
+		t.Fatal("segment 2 wrong")
+	}
+	if !bytes.Equal(buf.Bytes(8192, 256), src[512:768]) {
+		t.Fatal("segment 3 wrong")
+	}
+}
+
+func TestSendGatherSplitsAtPageBoundaries(t *testing.T) {
+	n, buf := newNode(t, machine.Config{UDMA: core.Config{QueueDepth: 8}})
+	var st udmalib.Stats
+	var err2 error
+	n.Kernel.Spawn("p", func(p *kernel.Proc) {
+		d, _ := udmalib.Open(p, buf, true)
+		va, _ := p.Alloc(2 * 4096)
+		p.WriteBuf(va, pattern(8192))
+		// One segment spanning two source pages.
+		err2 = d.SendGather([]udmalib.Segment{{VA: va + 2048, DevOff: 0, N: 4096}})
+		st = d.Stats()
+	})
+	run(t, n)
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	if st.Initiations != 2 {
+		t.Fatalf("initiations = %d, want 2 (split at source page boundary)", st.Initiations)
+	}
+	if !bytes.Equal(buf.Bytes(0, 4096), pattern(8192)[2048:2048+4096]) {
+		t.Fatal("split gather corrupted data")
+	}
+}
+
+func TestSendGatherEmptyAndInvalid(t *testing.T) {
+	n, buf := newNode(t, machine.Config{UDMA: core.Config{QueueDepth: 4}})
+	var errEmpty, errBad error
+	n.Kernel.Spawn("p", func(p *kernel.Proc) {
+		d, _ := udmalib.Open(p, buf, true)
+		va, _ := p.Alloc(4096)
+		errEmpty = d.SendGather(nil)
+		errBad = d.SendGather([]udmalib.Segment{{VA: va, DevOff: 0, N: 0}})
+	})
+	run(t, n)
+	if errEmpty != nil {
+		t.Fatalf("empty gather: %v", errEmpty)
+	}
+	if errBad == nil {
+		t.Fatal("zero-length segment accepted")
+	}
+}
+
+func TestSendGatherOnTinyQueueStillCompletes(t *testing.T) {
+	n, buf := newNode(t, machine.Config{UDMA: core.Config{QueueDepth: 1}})
+	var err2 error
+	n.Kernel.Spawn("p", func(p *kernel.Proc) {
+		d, _ := udmalib.Open(p, buf, true)
+		va, _ := p.Alloc(4096)
+		p.WriteBuf(va, pattern(4096))
+		segs := make([]udmalib.Segment, 8)
+		for i := range segs {
+			segs[i] = udmalib.Segment{VA: va + addr.VAddr(i*256), DevOff: uint32(i * 512), N: 256}
+		}
+		err2 = d.SendGather(segs)
+	})
+	run(t, n)
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	src := pattern(4096)
+	for i := 0; i < 8; i++ {
+		if !bytes.Equal(buf.Bytes(i*512, 256), src[i*256:(i+1)*256]) {
+			t.Fatalf("segment %d wrong with queue-full backpressure", i)
+		}
+	}
+}

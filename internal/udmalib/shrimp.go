@@ -1,0 +1,58 @@
+package udmalib
+
+import (
+	"fmt"
+
+	"shrimp/internal/addr"
+	"shrimp/internal/kernel"
+	"shrimp/internal/nic"
+)
+
+// ExportBuffer is the receiver-side half of establishing a SHRIMP
+// mapping: it pins the npages-page buffer at va into physical memory
+// and returns the frame numbers a remote NIPT may name. In SHRIMP this
+// is part of the mapping system call; incoming deliberate updates then
+// land in these frames with no receiver CPU involvement.
+func ExportBuffer(k *kernel.Kernel, p *kernel.Proc, va addr.VAddr, npages int) ([]uint32, error) {
+	if addr.PageOff(va) != 0 {
+		return nil, fmt.Errorf("udmalib: ExportBuffer at non-page-aligned %#x", uint32(va))
+	}
+	pfns := make([]uint32, 0, npages)
+	for i := 0; i < npages; i++ {
+		pfn, err := k.PinUserPage(p, addr.VPN(va)+uint32(i))
+		if err != nil {
+			// Unpin what we already pinned.
+			for _, done := range pfns {
+				k.UnpinUserPage(done)
+			}
+			return nil, err
+		}
+		pfns = append(pfns, pfn)
+	}
+	return pfns, nil
+}
+
+// MapSendWindow is the sender-side half: it installs consecutive NIPT
+// entries naming the exported frames on the destination node, so that
+// device-proxy pages [firstEntry, firstEntry+len(destPFNs)) form a
+// contiguous send window. The sender process still needs Open to map
+// the NIC's proxy pages into its address space.
+func MapSendWindow(senderNIC *nic.Interface, firstEntry uint32, destNode int, destPFNs []uint32) error {
+	for i, pfn := range destPFNs {
+		err := senderNIC.SetNIPT(firstEntry+uint32(i), nic.NIPTEntry{
+			Valid:    true,
+			DestNode: destNode,
+			DestPFN:  pfn,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WindowOff converts a NIPT entry index plus byte offset into the
+// device offset Send expects.
+func WindowOff(entry uint32, off uint32) uint32 {
+	return entry<<addr.PageShift | off
+}

@@ -1,0 +1,93 @@
+package workload
+
+import (
+	"testing"
+
+	"shrimp/internal/kernel"
+	"shrimp/internal/machine"
+	"shrimp/internal/sim"
+)
+
+func TestPayloadDeterministic(t *testing.T) {
+	a := Payload(1024, 7)
+	b := Payload(1024, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("payload not deterministic")
+		}
+	}
+	c := Payload(1024, 8)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical payloads")
+	}
+}
+
+func TestPayloadLastWordNonzero(t *testing.T) {
+	for seed := 0; seed < 64; seed++ {
+		for _, n := range []int{4, 64, 4096} {
+			p := Payload(n, byte(seed))
+			w := uint32(p[n-4]) | uint32(p[n-3])<<8 | uint32(p[n-2])<<16 | uint32(p[n-1])<<24
+			if w == 0 {
+				t.Fatalf("Payload(%d, %d) has zero last word", n, seed)
+			}
+		}
+	}
+}
+
+func TestSweepsAreSane(t *testing.T) {
+	for name, sizes := range map[string][]int{
+		"fig8":  Fig8Sizes(),
+		"hippi": HIPPIBlockSizes(),
+		"multi": MultiPageSizes(),
+	} {
+		if len(sizes) < 3 {
+			t.Errorf("%s sweep too short", name)
+		}
+		for i := 1; i < len(sizes); i++ {
+			if sizes[i] <= sizes[i-1] {
+				t.Errorf("%s sweep not increasing at %d", name, i)
+			}
+		}
+	}
+	// Figure 8's published knees must be in the sweep.
+	has := map[int]bool{}
+	for _, s := range Fig8Sizes() {
+		has[s] = true
+	}
+	for _, knee := range []int{512, 4096, 8192} {
+		if !has[knee] {
+			t.Errorf("fig8 sweep missing knee %d", knee)
+		}
+	}
+}
+
+func TestPagerCreatesPressure(t *testing.T) {
+	n := machine.New(0, machine.Config{RAMFrames: 24})
+	defer n.Kernel.Shutdown()
+	n.Kernel.Spawn("pager", Pager(40, 5_000_000))
+	if err := n.Kernel.Run(sim.Forever); err != nil {
+		t.Fatal(err)
+	}
+	if n.Kernel.Stats().Evictions == 0 {
+		t.Fatal("pager with working set > RAM caused no evictions")
+	}
+}
+
+func TestBurnerConsumesTime(t *testing.T) {
+	n := machine.New(0, machine.Config{})
+	defer n.Kernel.Shutdown()
+	n.Kernel.Spawn("burner", Burner(100, 50_000))
+	if err := n.Kernel.Run(sim.Forever); err != nil {
+		t.Fatal(err)
+	}
+	if n.Clock.Now() < 50_000 {
+		t.Fatalf("burner stopped at %d", n.Clock.Now())
+	}
+	_ = kernel.Config{}
+}
