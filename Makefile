@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build vet test race check experiments faults
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the CI gate: everything must compile, vet clean, and pass
+# the test suite under the race detector.
+check: build vet race
+
+experiments:
+	$(GO) run ./cmd/udmabench -exp all
+
+faults:
+	$(GO) run ./cmd/shrimpsim -scenario faults

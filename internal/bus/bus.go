@@ -61,13 +61,15 @@ func (b *Bus) ReserveBurst(earliest sim.Cycles, n int) (start, end sim.Cycles) {
 // stalled for the word cost (charged on the clock) and the bus is
 // occupied for the same interval. Returns when the word is on the wire.
 func (b *Bus) PIOWord() {
-	start := b.clock.Now()
-	if b.busyUntil > start {
-		b.waitCycles += b.busyUntil - start
+	// AdvanceTo fires due events, and a fired event may itself reserve
+	// a DMA burst, pushing busyUntil past the value captured before the
+	// wait. Re-check after every advance so the PIO word never overlaps
+	// a burst reserved while the CPU was stalled waiting for the bus.
+	for b.busyUntil > b.clock.Now() {
+		b.waitCycles += b.busyUntil - b.clock.Now()
 		b.clock.AdvanceTo(b.busyUntil)
-		start = b.busyUntil
 	}
-	end := start + b.costs.PIOWordCost
+	end := b.clock.Now() + b.costs.PIOWordCost
 	b.busyUntil = end
 	b.clock.AdvanceTo(end)
 	b.pioWords++

@@ -105,6 +105,33 @@ func TestPIOWaitsForBurst(t *testing.T) {
 	}
 }
 
+// TestPIODoesNotOverlapBurstReservedDuringWait is the regression test
+// for the double-booking bug: while PIOWord stalls the CPU waiting for
+// the bus, AdvanceTo fires due events, and a fired event may reserve a
+// fresh burst. The old code captured busyUntil once before the wait and
+// then claimed the bus at that stale time, overlapping the new burst.
+func TestPIODoesNotOverlapBurstReservedDuringWait(t *testing.T) {
+	b, clock := testBus()
+	b.ReserveBurst(0, 100) // busy [0,60]
+	// Mid-wait, a device completion grabs the bus for another burst the
+	// moment the first one ends: busy through [60,120].
+	var start2, end2 sim.Cycles
+	clock.Schedule(30, "competing DMA", func() {
+		start2, end2 = b.ReserveBurst(clock.Now(), 100)
+	})
+	b.PIOWord()
+	if start2 != 60 || end2 != 120 {
+		t.Fatalf("competing burst = [%d,%d], want [60,120]", start2, end2)
+	}
+	// The PIO word must queue behind BOTH bursts.
+	if clock.Now() != 128 {
+		t.Fatalf("PIO word finished at %d, want 128 (after the burst reserved mid-wait)", clock.Now())
+	}
+	if b.BusyUntil() != 128 {
+		t.Fatalf("BusyUntil = %d, want 128", b.BusyUntil())
+	}
+}
+
 func TestIdle(t *testing.T) {
 	b, clock := testBus()
 	if !b.Idle() {

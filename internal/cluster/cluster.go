@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 
+	"shrimp/internal/device"
 	"shrimp/internal/interconnect"
 	"shrimp/internal/kernel"
 	"shrimp/internal/machine"
@@ -35,6 +36,17 @@ type Config struct {
 	NIC nic.Config
 	// Window is the lockstep horizon step in cycles (default 10_000).
 	Window sim.Cycles
+
+	// FaultInject wraps every node's NIC in a device.Faulty so the
+	// fault-recovery experiments can exercise the error paths under
+	// cluster traffic. Each node gets its own deterministic RNG derived
+	// from FaultSeed and the node ID; CheckTransfer rejects with
+	// probability FaultRejectRate and each DMA read/write fails with
+	// probability FaultFailRate.
+	FaultInject     bool
+	FaultSeed       uint64
+	FaultRejectRate float64
+	FaultFailRate   float64
 }
 
 // Cluster is the assembled machine.
@@ -42,8 +54,24 @@ type Cluster struct {
 	Nodes     []*machine.Node
 	NICs      []*nic.Interface
 	Backplane *interconnect.Backplane
+	// Faulty holds each node's injection wrapper when Config.FaultInject
+	// is set (nil entries otherwise). The wrapper, not the raw NIC, is
+	// what the node's device map decodes — use Dev to address the NIC
+	// from udmalib.
+	Faulty []*device.Faulty
 
 	window sim.Cycles
+}
+
+// Dev returns the device attached to node i's proxy pages: the fault
+// wrapper when injection is on, the raw NIC otherwise. udmalib.Open and
+// MapDevice resolve devices by identity, so callers must use this
+// handle rather than NICs[i] when FaultInject is set.
+func (c *Cluster) Dev(i int) device.Device {
+	if c.Faulty[i] != nil {
+		return c.Faulty[i]
+	}
+	return c.NICs[i]
 }
 
 // New builds and wires a cluster. The NIC occupies device-proxy pages
@@ -70,9 +98,20 @@ func New(cfg Config) *Cluster {
 		mcfg.Clock = nil // per-node clock
 		node := machine.New(i, mcfg)
 		iface := nic.New(i, node.Clock, costs, node.RAM, node.Bus, c.Backplane, cfg.NIC)
-		node.AttachDevice(iface, 0)
+		var faulty *device.Faulty
+		var dev device.Device = iface
+		if cfg.FaultInject {
+			faulty = device.NewFaulty(iface)
+			// Per-node RNG stream: same cluster seed, decorrelated by
+			// node ID so nodes do not fault in lockstep.
+			faulty.InjectRates(sim.NewRNG(cfg.FaultSeed^(uint64(i+1)*0x9E3779B97F4A7C15)),
+				cfg.FaultRejectRate, cfg.FaultFailRate)
+			dev = faulty
+		}
+		node.AttachDevice(dev, 0)
 		c.Nodes = append(c.Nodes, node)
 		c.NICs = append(c.NICs, iface)
+		c.Faulty = append(c.Faulty, faulty)
 	}
 	return c
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"shrimp/internal/addr"
@@ -9,6 +10,11 @@ import (
 	"shrimp/internal/sim"
 	"shrimp/internal/trace"
 )
+
+// ErrTerminated is the error delivered to tickets and the status-word
+// error latch when the kernel's Terminate (machine-check path) discards
+// a pending or in-flight transfer.
+var ErrTerminated = errors.New("core: transfer terminated")
 
 // State is the UDMA state machine state (paper Figure 5).
 type State int
@@ -96,22 +102,33 @@ type Controller struct {
 	// paper proposes for I4 with queueing.
 	pageRefs map[uint32]int
 
+	// failedBits is the per-transfer error latch: when a transfer fails
+	// after its initiating LOAD already returned success (a completion-
+	// time fault, a dequeue-time rejection, a kernel Terminate), the
+	// error bits are latched under the transfer's base proxy address. A
+	// status poll of that address reports and clears them — the read-to-
+	// clear error register the paper's termination discussion implies.
+	// A new initiation from the same base drops any stale entry.
+	failedBits map[addr.PAddr]device.ErrBits
+
 	stats Stats
 }
 
 // Stats counts controller events for the experiments.
 type Stats struct {
-	Stores       uint64 // Store events (positive nbytes)
-	Loads        uint64 // Load events
-	Invals       uint64 // Inval events
-	Initiations  uint64 // transfers started or enqueued
-	BadLoads     uint64 // WRONG-SPACE rejections
-	DeviceErrors uint64 // device-validation rejections
-	QueueFull    uint64 // initiations refused for a full queue
-	Busy         uint64 // loads observing a busy basic controller
-	Completions  uint64 // engine completions
-	Terminations uint64 // kernel-initiated Terminate calls
-	MaxQueueLen  int    // high-water mark of the user queue
+	Stores         uint64 // Store events (positive nbytes)
+	Loads          uint64 // Load events
+	Invals         uint64 // Inval events
+	Initiations    uint64 // transfers started or enqueued
+	BadLoads       uint64 // WRONG-SPACE rejections
+	DeviceErrors   uint64 // device-validation rejections
+	QueueFull      uint64 // initiations refused for a full queue
+	Busy           uint64 // loads observing a busy basic controller
+	Completions    uint64 // engine completions
+	Terminations   uint64 // kernel-initiated Terminate calls
+	Failures       uint64 // accepted transfers that did not complete
+	DequeueRejects uint64 // queued requests the engine rejected at dispatch
+	MaxQueueLen    int    // high-water mark of the user queue
 }
 
 // New wires a controller onto a DMA engine and device map. It
@@ -125,11 +142,12 @@ func New(engine *dma.Engine, devmap *device.Map, clock *sim.Clock, cfg Config) *
 		panic("core: negative queue depth")
 	}
 	c := &Controller{
-		engine:   engine,
-		devmap:   devmap,
-		clock:    clock,
-		cfg:      cfg,
-		pageRefs: make(map[uint32]int),
+		engine:     engine,
+		devmap:     devmap,
+		clock:      clock,
+		cfg:        cfg,
+		pageRefs:   make(map[uint32]int),
+		failedBits: make(map[addr.PAddr]device.ErrBits),
 	}
 	engine.OnComplete(func(err error) { c.onEngineDone(err) })
 	return c
@@ -236,14 +254,21 @@ func (c *Controller) Load(pa addr.PAddr) Status {
 	switch {
 	case !c.engine.Busy() && len(c.userQ) == 0 && len(c.sysQ) == 0:
 		if err := c.engine.Start(req.src, req.dst, req.count); err != nil {
-			// Validated above; an engine rejection here is a hardware
-			// design bug, not a user error.
-			panic(fmt.Sprintf("core: engine rejected validated transfer: %v", err))
+			// The device validated the request but the engine refused it
+			// (e.g. a memory endpoint outside installed RAM, which only
+			// the engine checks). Surface the error in this LOAD's
+			// status word instead of crashing the machine.
+			c.stats.DeviceErrors++
+			c.tracer.Record(trace.EvTransferFail, uint64(req.src), uint64(req.dst), err.Error())
+			c.state = Idle
+			return makeStatus(false, c.busy(), false, false, false, 0, errBitsOf(err))
 		}
+		delete(c.failedBits, req.base)
 		c.inflight = req
 		c.hasInflight = true
 		c.ref(req)
 	case c.cfg.QueueDepth > 0 && len(c.userQ) < c.cfg.QueueDepth:
+		delete(c.failedBits, req.base)
 		c.userQ = append(c.userQ, req)
 		if len(c.userQ) > c.stats.MaxQueueLen {
 			c.stats.MaxQueueLen = len(c.userQ)
@@ -251,9 +276,12 @@ func (c *Controller) Load(pa addr.PAddr) Status {
 		c.ref(req)
 	case c.cfg.QueueDepth > 0:
 		// Queue full: refuse, keep DestLoaded so the user can retry
-		// the LOAD alone once the queue drains.
+		// the LOAD alone once the queue drains. REMAINING-BYTES reports
+		// the actual outstanding work (engine remaining plus queued
+		// bytes), the same figure a status poll computes — not the raw
+		// latched count of the refused request.
 		c.stats.QueueFull++
-		return makeStatus(false, true, false, c.matchAny(pa), false, c.count, device.ErrQueueFull)
+		return makeStatus(false, true, false, c.matchAny(pa), false, c.outstandingBytes(), device.ErrQueueFull)
 	default:
 		// Basic machine busy: the Store half was accepted while idle
 		// but another initiation won; report busy, drop the latch.
@@ -270,19 +298,39 @@ func (c *Controller) Load(pa addr.PAddr) Status {
 }
 
 // pollStatus builds the status word for a LOAD that does not initiate.
+// If a transfer based at pa failed after its initiation succeeded, the
+// latched error bits are reported and cleared.
 func (c *Controller) pollStatus(pa addr.PAddr) Status {
 	busy := c.busy()
 	remaining := 0
 	if busy {
-		remaining = c.engine.Remaining()
-		for _, r := range c.userQ {
-			remaining += r.count
-		}
-		for _, r := range c.sysQ {
-			remaining += r.count
+		remaining = c.outstandingBytes()
+	}
+	match := c.matchAny(pa)
+	var bits device.ErrBits
+	if !match {
+		// The latch holds until no same-base transfer remains matching,
+		// so a poll cannot consume the error while the caller is still
+		// (correctly) waiting on MATCH for other in-flight work.
+		if b, ok := c.failedBits[pa]; ok {
+			bits = b
+			delete(c.failedBits, pa)
 		}
 	}
-	return makeStatus(false, busy, !busy && c.state == Idle, c.matchAny(pa), false, remaining, 0)
+	return makeStatus(false, busy, !busy && c.state == Idle, match, false, remaining, bits)
+}
+
+// outstandingBytes is the REMAINING-BYTES a poll reports: what is left
+// of the in-flight transfer plus every queued request.
+func (c *Controller) outstandingBytes() int {
+	remaining := c.engine.Remaining()
+	for _, r := range c.userQ {
+		remaining += r.count
+	}
+	for _, r := range c.sysQ {
+		remaining += r.count
+	}
+	return remaining
 }
 
 func (c *Controller) matchBit(pa addr.PAddr) Status {
@@ -365,13 +413,19 @@ func (c *Controller) EnqueueSystem(src, dst addr.PAddr, count int) *SysTicket {
 	req := request{src: src, dst: dst, count: count, base: 0, ticket: &SysTicket{}}
 	if !c.engine.Busy() && len(c.sysQ) == 0 {
 		if err := c.engine.Start(src, dst, count); err != nil {
-			return nil
+			// An invalid request would never become startable: fail the
+			// ticket immediately rather than making the kernel wait for
+			// a completion that cannot come.
+			c.failTransfer(req, err)
+			return req.ticket
 		}
+		c.stats.Initiations++
 		c.inflight = req
 		c.hasInflight = true
 		c.ref(req)
 		return req.ticket
 	}
+	c.stats.Initiations++
 	c.sysQ = append(c.sysQ, req)
 	c.ref(req)
 	return req.ticket
@@ -384,38 +438,80 @@ func (c *Controller) SystemQueueAvailable() bool {
 }
 
 // onEngineDone pops the next request when a transfer finishes
-// (system queue first), returning the machine to Idle when drained.
+// (system queue first), returning the machine to Idle when drained. A
+// failed transfer is recorded — trace event, stats, error latch,
+// ticket — but still frees the engine for the next request.
 func (c *Controller) onEngineDone(err error) {
 	c.stats.Completions++
 	if c.hasInflight {
-		c.tracer.Record(trace.EvTransferDone, uint64(c.inflight.src), uint64(c.inflight.dst), "")
-		c.unref(c.inflight)
-		if t := c.inflight.ticket; t != nil {
-			t.Done = true
-			t.Err = err
+		if err != nil {
+			c.failTransfer(c.inflight, err)
+		} else {
+			c.tracer.Record(trace.EvTransferDone, uint64(c.inflight.src), uint64(c.inflight.dst), "")
+			if t := c.inflight.ticket; t != nil {
+				t.Done = true
+			}
 		}
+		c.unref(c.inflight)
 		c.hasInflight = false
 	}
-	_ = err // a failed transfer still frees the engine for the next one
+	c.startNext()
+}
 
-	var next request
-	switch {
-	case len(c.sysQ) > 0:
-		next = c.sysQ[0]
-		c.sysQ = c.sysQ[1:]
-	case len(c.userQ) > 0:
-		next = c.userQ[0]
-		c.userQ = c.userQ[1:]
-	default:
+// startNext pops queued requests (system queue first) until one starts
+// or the queues drain. A request the engine rejects at dispatch time —
+// validated at enqueue, but conditions changed while it waited — is
+// failed like a completed-with-error transfer and the next one runs;
+// one bad request must not wedge or crash the machine.
+func (c *Controller) startNext() {
+	for {
+		var next request
+		switch {
+		case len(c.sysQ) > 0:
+			next = c.sysQ[0]
+			c.sysQ = c.sysQ[1:]
+		case len(c.userQ) > 0:
+			next = c.userQ[0]
+			c.userQ = c.userQ[1:]
+		default:
+			return
+		}
+		if startErr := c.engine.Start(next.src, next.dst, next.count); startErr != nil {
+			c.stats.DequeueRejects++
+			c.failTransfer(next, startErr)
+			c.unref(next)
+			continue
+		}
+		c.inflight = next
+		c.hasInflight = true
 		return
 	}
-	if startErr := c.engine.Start(next.src, next.dst, next.count); startErr != nil {
-		// The queued request was validated at enqueue time; the only
-		// way to get here is a hardware bug.
-		panic(fmt.Sprintf("core: queued transfer rejected by engine: %v", startErr))
+}
+
+// failTransfer records a transfer that was accepted but did not
+// complete: counters, the trace, the user-visible error latch, and the
+// kernel's ticket.
+func (c *Controller) failTransfer(r request, err error) {
+	c.stats.Failures++
+	c.tracer.Record(trace.EvTransferFail, uint64(r.src), uint64(r.dst), err.Error())
+	if r.base != 0 {
+		c.failedBits[r.base] = errBitsOf(err)
 	}
-	c.inflight = next
-	c.hasInflight = true
+	if t := r.ticket; t != nil {
+		t.Done = true
+		t.Err = err
+	}
+}
+
+// errBitsOf maps a transfer error onto the device-specific bits of the
+// status word: device rejections keep the bits the device reported,
+// everything else (bus errors, terminations) reports ErrTransferFault.
+func errBitsOf(err error) device.ErrBits {
+	var te *dma.TransferError
+	if errors.As(err, &te) && te.Bits != 0 {
+		return te.Bits
+	}
+	return device.ErrTransferFault
 }
 
 // Terminate aborts the in-flight transfer (if any) and discards every
@@ -433,20 +529,22 @@ func (c *Controller) Terminate() int {
 		n++
 	}
 	// Abort suppresses the completion interrupt, so release the
-	// in-flight refcounts (and fail any ticket) here.
+	// in-flight refcounts (and fail any ticket / latch the error for a
+	// polling user) here.
 	if c.hasInflight {
 		c.unref(c.inflight)
-		c.failTicket(c.inflight)
+		c.failTransfer(c.inflight, ErrTerminated)
 		c.hasInflight = false
 	}
 	for _, r := range c.userQ {
 		c.unref(r)
+		c.failTransfer(r, ErrTerminated)
 		n++
 	}
 	c.userQ = c.userQ[:0]
 	for _, r := range c.sysQ {
 		c.unref(r)
-		c.failTicket(r)
+		c.failTransfer(r, ErrTerminated)
 		n++
 	}
 	c.sysQ = c.sysQ[:0]
@@ -486,13 +584,6 @@ func (c *Controller) DestLoadedFrame() (pfn uint32, ok bool) {
 		return 0, false
 	}
 	return addr.PFN(d), true
-}
-
-func (c *Controller) failTicket(r request) {
-	if r.ticket != nil {
-		r.ticket.Done = true
-		r.ticket.Err = fmt.Errorf("core: transfer terminated")
-	}
 }
 
 func (c *Controller) ref(r request) {

@@ -50,6 +50,11 @@ const (
 	ErrReadOnly
 	// ErrQueueFull: the UDMA request queue refused the transfer.
 	ErrQueueFull
+	// ErrTransferFault: the transfer was accepted but failed during
+	// data movement (a completion-time device fault or memory-system
+	// error) or was terminated by the kernel. Reported by the UDMA
+	// status word's error latch, not by CheckTransfer.
+	ErrTransferFault
 )
 
 // Device is an I/O device that can source or sink DMA transfers.

@@ -26,12 +26,28 @@ type Faulty struct {
 	// FailNext makes the next n Write/Read calls fail at completion.
 	FailNext int
 
+	// Rate-based injection (see InjectRates). Counter-based injection
+	// above takes precedence when armed.
+	rng     *sim.RNG
+	rejectP float64
+	failP   float64
+
 	rejected uint64
 	failed   uint64
 }
 
 // NewFaulty wraps a device.
 func NewFaulty(inner Device) *Faulty { return &Faulty{Inner: inner} }
+
+// InjectRates arms probabilistic fault injection driven by a seeded
+// deterministic RNG: each CheckTransfer is rejected with probability
+// rejectP and each completion-time Write/Read fails with probability
+// failP. A nil rng disarms rate-based injection. The one-shot counters
+// (RejectNext/FailNext) still take precedence when set, so tests can
+// pin a specific fault on top of a background rate.
+func (f *Faulty) InjectRates(rng *sim.RNG, rejectP, failP float64) {
+	f.rng, f.rejectP, f.failP = rng, rejectP, failP
+}
 
 // Name implements Device.
 func (f *Faulty) Name() string { return f.Inner.Name() + "+faulty" }
@@ -50,6 +66,14 @@ func (f *Faulty) CheckTransfer(da DevAddr, n int, toDevice bool) ErrBits {
 		}
 		return bits
 	}
+	if f.rng != nil && f.rejectP > 0 && f.rng.Float64() < f.rejectP {
+		f.rejected++
+		bits := f.RejectBits
+		if bits == 0 {
+			bits = ErrBounds
+		}
+		return bits
+	}
 	return f.Inner.CheckTransfer(da, n, toDevice)
 }
 
@@ -60,9 +84,7 @@ func (f *Faulty) TransferLatency(da DevAddr, n int) sim.Cycles {
 
 // Write implements Device.
 func (f *Faulty) Write(da DevAddr, data []byte, now sim.Cycles) error {
-	if f.FailNext > 0 {
-		f.FailNext--
-		f.failed++
+	if f.injectFail() {
 		return ErrInjected
 	}
 	return f.Inner.Write(da, data, now)
@@ -70,15 +92,51 @@ func (f *Faulty) Write(da DevAddr, data []byte, now sim.Cycles) error {
 
 // Read implements Device.
 func (f *Faulty) Read(da DevAddr, n int, now sim.Cycles) ([]byte, error) {
-	if f.FailNext > 0 {
-		f.FailNext--
-		f.failed++
+	if f.injectFail() {
 		return nil, ErrInjected
 	}
 	return f.Inner.Read(da, n, now)
 }
 
+func (f *Faulty) injectFail() bool {
+	if f.FailNext > 0 {
+		f.FailNext--
+		f.failed++
+		return true
+	}
+	if f.rng != nil && f.failP > 0 && f.rng.Float64() < f.failP {
+		f.failed++
+		return true
+	}
+	return false
+}
+
 // Injected returns how many rejections and completion failures fired.
 func (f *Faulty) Injected() (rejected, failed uint64) { return f.rejected, f.failed }
 
-var _ Device = (*Faulty)(nil)
+// PIOWindow implements device.PIODevice by pass-through, so wrapping a
+// device that also exposes a programmed-I/O window (the NIC's FIFO
+// baseline) stays transparent. Fault injection targets DMA transfers
+// only; PIO words are CPU stores and do not cross the DMA error paths.
+func (f *Faulty) PIOWindow() (first, count uint32, ok bool) {
+	if p, isPIO := f.Inner.(PIODevice); isPIO {
+		return p.PIOWindow()
+	}
+	return 0, 0, false
+}
+
+// PIOStore implements device.PIODevice. Only reachable when PIOWindow
+// reported a window, which implies Inner is a PIODevice.
+func (f *Faulty) PIOStore(da DevAddr, v uint32) {
+	f.Inner.(PIODevice).PIOStore(da, v)
+}
+
+// PIOLoad implements device.PIODevice.
+func (f *Faulty) PIOLoad(da DevAddr) uint32 {
+	return f.Inner.(PIODevice).PIOLoad(da)
+}
+
+var (
+	_ Device    = (*Faulty)(nil)
+	_ PIODevice = (*Faulty)(nil)
+)

@@ -20,6 +20,81 @@ import (
 	"shrimp/internal/sim"
 )
 
+// FaultKind classifies why a transfer failed. The kind distinguishes
+// conditions the software above can retry or must report: a busy engine
+// is transient, a device rejection carries status bits for the user, a
+// bus error is the paper's "memory system error that the DMA hardware
+// cannot handle transparently".
+type FaultKind int
+
+const (
+	FaultNone FaultKind = iota
+	// FaultBusy: Start was called while a transfer was in flight.
+	FaultBusy
+	// FaultBadRequest: malformed request (non-positive count, endpoint
+	// regions the engine cannot pair).
+	FaultBadRequest
+	// FaultBusError: a memory endpoint fell outside installed RAM, or
+	// RAM refused the access at completion time.
+	FaultBusError
+	// FaultDeviceReject: the device's CheckTransfer refused the request
+	// at Start time (alignment, bounds, invalid entry, read-only).
+	FaultDeviceReject
+	// FaultDevice: the device failed the data movement at completion
+	// time (an injected fault, a broken block, a dead link).
+	FaultDevice
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultNone:
+		return "none"
+	case FaultBusy:
+		return "busy"
+	case FaultBadRequest:
+		return "bad-request"
+	case FaultBusError:
+		return "bus-error"
+	case FaultDeviceReject:
+		return "device-reject"
+	case FaultDevice:
+		return "device-fault"
+	default:
+		return fmt.Sprintf("fault(%d)", int(k))
+	}
+}
+
+// TransferError is the typed per-transfer error the engine reports,
+// both synchronously from Start and asynchronously through the
+// completion interrupt. Callers inspect Kind to decide between retry,
+// user-visible status bits, and the kernel's machine-check path.
+type TransferError struct {
+	Kind     FaultKind
+	Stage    string // "start" or "complete"
+	Src, Dst addr.PAddr
+	Count    int
+	Bits     device.ErrBits // device error bits, when the device reported any
+	Err      error          // underlying cause, if any
+}
+
+func (e *TransferError) Error() string {
+	s := fmt.Sprintf("dma: %s %s→%s (%dB) failed at %s",
+		e.Kind, fmtAddr(e.Src), fmtAddr(e.Dst), e.Count, e.Stage)
+	if e.Bits != 0 {
+		s += fmt.Sprintf(": error bits %#x", uint32(e.Bits))
+	}
+	if e.Err != nil {
+		s += ": " + e.Err.Error()
+	}
+	return s
+}
+
+// Unwrap exposes the underlying cause for errors.Is/As chains (e.g.
+// device.ErrInjected from a fault injector).
+func (e *TransferError) Unwrap() error { return e.Err }
+
+func fmtAddr(a addr.PAddr) string { return fmt.Sprintf("%#x", uint32(a)) }
+
 // Direction of a transfer relative to memory.
 type Direction int
 
@@ -59,8 +134,10 @@ type Engine struct {
 	// at completion time (UDMA state machine, kernel interrupt handler).
 	onComplete []func(err error)
 
-	transfers uint64
-	bytes     uint64
+	transfers   uint64
+	bytes       uint64
+	failures    uint64
+	failedBytes uint64
 }
 
 // New wires an engine to its node's clock, bus, RAM and device map.
@@ -117,6 +194,10 @@ func (e *Engine) DoneAt() sim.Cycles { return e.doneAt }
 // Stats returns the number of completed transfers and bytes moved.
 func (e *Engine) Stats() (transfers, bytes uint64) { return e.transfers, e.bytes }
 
+// FailStats returns the number of failed transfers and the bytes they
+// would have moved.
+func (e *Engine) FailStats() (failures, failedBytes uint64) { return e.failures, e.failedBytes }
+
 // Start programs the registers and begins a transfer. Exactly one of
 // src/dst must be a real-memory address and the other a device-proxy
 // address; the direction is inferred. The transfer occupies the I/O
@@ -127,11 +208,15 @@ func (e *Engine) Stats() (transfers, bytes uint64) { return e.transfers, e.bytes
 // Start validates against the device (alignment, bounds) before
 // accepting; a rejected transfer leaves the engine idle.
 func (e *Engine) Start(src, dst addr.PAddr, count int) error {
+	startErr := func(kind FaultKind, bits device.ErrBits, cause error) *TransferError {
+		return &TransferError{Kind: kind, Stage: "start", Src: src, Dst: dst,
+			Count: count, Bits: bits, Err: cause}
+	}
 	if e.busy {
-		return fmt.Errorf("dma: engine busy until cycle %d", e.doneAt)
+		return startErr(FaultBusy, 0, fmt.Errorf("engine busy until cycle %d", e.doneAt))
 	}
 	if count <= 0 {
-		return fmt.Errorf("dma: byte count %d must be positive", count)
+		return startErr(FaultBadRequest, 0, fmt.Errorf("byte count %d must be positive", count))
 	}
 
 	srcR, dstR := addr.RegionOf(src), addr.RegionOf(dst)
@@ -142,7 +227,7 @@ func (e *Engine) Start(src, dst addr.PAddr, count int) error {
 	case srcR == addr.RegionDevProxy && dstR == addr.RegionMemory:
 		dir = DevToMem
 	default:
-		return fmt.Errorf("dma: unsupported transfer %s → %s", srcR, dstR)
+		return startErr(FaultBadRequest, 0, fmt.Errorf("unsupported transfer %s → %s", srcR, dstR))
 	}
 
 	memA, devA := src, dst
@@ -150,14 +235,14 @@ func (e *Engine) Start(src, dst addr.PAddr, count int) error {
 		memA, devA = dst, src
 	}
 	if !e.ram.Contains(memA, count) {
-		return fmt.Errorf("dma: memory range [%#x,+%d) outside RAM", uint32(memA), count)
+		return startErr(FaultBusError, 0, fmt.Errorf("memory range [%#x,+%d) outside RAM", uint32(memA), count))
 	}
 	dev, da, ok := e.devmap.Resolve(devA)
 	if !ok {
-		return fmt.Errorf("dma: no device decodes %#x", uint32(devA))
+		return startErr(FaultDeviceReject, device.ErrBounds, fmt.Errorf("no device decodes %#x", uint32(devA)))
 	}
 	if bits := dev.CheckTransfer(da, count, dir == MemToDev); bits != 0 {
-		return fmt.Errorf("dma: device %s rejected transfer: error bits %#x", dev.Name(), uint32(bits))
+		return startErr(FaultDeviceReject, bits, fmt.Errorf("device %s rejected transfer", dev.Name()))
 	}
 
 	e.src, e.dst, e.count, e.dir = src, dst, count, dir
@@ -176,19 +261,26 @@ func (e *Engine) Start(src, dst addr.PAddr, count int) error {
 
 // complete moves the data and fires the interrupt. Runs at doneAt.
 func (e *Engine) complete(dev device.Device, da device.DevAddr, dir Direction, memA addr.PAddr, count int) {
+	// A completion-time failure is classified by which side of the bus
+	// refused: RAM errors are bus errors, device errors are device
+	// faults. Both are wrapped as a TransferError so listeners see one
+	// typed shape on the interrupt line.
 	var err error
+	kind := FaultNone
 	switch dir {
 	case MemToDev:
 		var data []byte
-		data, err = e.ram.Read(memA, count)
-		if err == nil {
-			err = dev.Write(da, data, e.clock.Now())
+		if data, err = e.ram.Read(memA, count); err != nil {
+			kind = FaultBusError
+		} else if err = dev.Write(da, data, e.clock.Now()); err != nil {
+			kind = FaultDevice
 		}
 	case DevToMem:
 		var data []byte
-		data, err = dev.Read(da, count, e.clock.Now())
-		if err == nil {
-			err = e.ram.Write(memA, data)
+		if data, err = dev.Read(da, count, e.clock.Now()); err != nil {
+			kind = FaultDevice
+		} else if err = e.ram.Write(memA, data); err != nil {
+			kind = FaultBusError
 		}
 	}
 	e.busy = false
@@ -196,6 +288,11 @@ func (e *Engine) complete(dev device.Device, da device.DevAddr, dir Direction, m
 	if err == nil {
 		e.transfers++
 		e.bytes += uint64(count)
+	} else {
+		e.failures++
+		e.failedBytes += uint64(count)
+		err = &TransferError{Kind: kind, Stage: "complete", Src: e.src, Dst: e.dst,
+			Count: count, Err: err}
 	}
 	for _, fn := range e.onComplete {
 		fn(err)

@@ -1,0 +1,189 @@
+package dma
+
+import (
+	"errors"
+	"testing"
+
+	"shrimp/internal/addr"
+	"shrimp/internal/bus"
+	"shrimp/internal/device"
+	"shrimp/internal/mem"
+	"shrimp/internal/sim"
+)
+
+// TestStartErrorKinds drives every synchronous rejection path and
+// checks the typed error the caller sees.
+func TestStartErrorKinds(t *testing.T) {
+	cases := []struct {
+		name     string
+		src, dst addr.PAddr
+		count    int
+		busyTrap bool // start a transfer first so the engine is busy
+		kind     FaultKind
+		bits     device.ErrBits
+	}{
+		{name: "busy", src: 0x1000, dst: addr.DevProxy(0, 0), count: 4,
+			busyTrap: true, kind: FaultBusy},
+		{name: "zero count", src: 0x1000, dst: addr.DevProxy(0, 0), count: 0,
+			kind: FaultBadRequest},
+		{name: "mem to mem", src: 0x1000, dst: 0x2000, count: 4,
+			kind: FaultBadRequest},
+		{name: "dev to dev", src: addr.DevProxy(0, 0), dst: addr.DevProxy(1, 0), count: 4,
+			kind: FaultBadRequest},
+		{name: "memory outside RAM", src: 0x40_0000, dst: addr.DevProxy(0, 0), count: 4,
+			kind: FaultBusError},
+		{name: "no device decodes", src: 0x1000, dst: addr.DevProxy(200, 0), count: 4,
+			kind: FaultDeviceReject, bits: device.ErrBounds},
+		{name: "device rejects", src: 0x1000, dst: addr.DevProxy(0, 2), count: 4,
+			kind: FaultDeviceReject, bits: device.ErrAlignment},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := newAlignedRig(t)
+			if tc.busyTrap {
+				if err := r.eng.Start(0x2000, addr.DevProxy(0, 64), 4); err != nil {
+					t.Fatal(err)
+				}
+			}
+			err := r.eng.Start(tc.src, tc.dst, tc.count)
+			var te *TransferError
+			if !errors.As(err, &te) {
+				t.Fatalf("error = %v (%T), want *TransferError", err, err)
+			}
+			if te.Kind != tc.kind {
+				t.Fatalf("kind = %v, want %v", te.Kind, tc.kind)
+			}
+			if te.Stage != "start" {
+				t.Fatalf("stage = %q", te.Stage)
+			}
+			if tc.bits != 0 && te.Bits&tc.bits == 0 {
+				t.Fatalf("bits = %#x, want %#x set", uint32(te.Bits), uint32(tc.bits))
+			}
+			if !tc.busyTrap && r.eng.Busy() {
+				t.Fatal("rejected Start left the engine busy")
+			}
+			r.clock.RunUntilIdle()
+		})
+	}
+}
+
+// newAlignedRig is newRig with a 4-byte-alignment device, so an odd
+// source address exercises the device-reject path.
+func newAlignedRig(t *testing.T) *rig {
+	t.Helper()
+	clock := sim.NewClock()
+	costs := &sim.CostModel{
+		CPUHz: 60e6, DMAStartup: 10, DMABytesPerCyc: 2,
+		PIOWordCost: 8, LinkBytesPerCyc: 1,
+	}
+	ram := mem.NewPhysical(16)
+	devmap := device.NewMap()
+	buf := device.NewBuffer("buf", 4, 4, 0)
+	if err := devmap.Attach(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	extra := device.NewBuffer("buf2", 4, 4, 0)
+	if err := devmap.Attach(extra, 4); err != nil {
+		t.Fatal(err)
+	}
+	return &rig{clock: clock, costs: costs, ram: ram, devmap: devmap, buf: buf,
+		eng: New(clock, costs, bus.New(clock, costs), ram, devmap)}
+}
+
+// TestCompletionErrorIsTypedAndCounted: a completion-time device fault
+// reaches the interrupt listeners as a *TransferError wrapping the
+// device's error, and the engine's failure counters move.
+func TestCompletionErrorIsTypedAndCounted(t *testing.T) {
+	clock := sim.NewClock()
+	costs := &sim.CostModel{
+		CPUHz: 60e6, DMAStartup: 10, DMABytesPerCyc: 2, LinkBytesPerCyc: 1,
+	}
+	ram := mem.NewPhysical(16)
+	devmap := device.NewMap()
+	faulty := device.NewFaulty(device.NewBuffer("buf", 4, 0, 0))
+	if err := devmap.Attach(faulty, 0); err != nil {
+		t.Fatal(err)
+	}
+	eng := New(clock, costs, bus.New(clock, costs), ram, devmap)
+
+	var got error
+	calls := 0
+	eng.OnComplete(func(err error) { calls++; got = err })
+
+	ram.Write(0x1000, []byte{1, 2, 3, 4})
+	faulty.FailNext = 1
+	if err := eng.Start(0x1000, addr.DevProxy(0, 0), 4); err != nil {
+		t.Fatal(err)
+	}
+	clock.RunUntilIdle()
+
+	if calls != 1 {
+		t.Fatalf("completion fired %d times", calls)
+	}
+	var te *TransferError
+	if !errors.As(got, &te) {
+		t.Fatalf("completion error = %v (%T), want *TransferError", got, got)
+	}
+	if te.Kind != FaultDevice || te.Stage != "complete" {
+		t.Fatalf("kind=%v stage=%q", te.Kind, te.Stage)
+	}
+	if !errors.Is(got, device.ErrInjected) {
+		t.Fatalf("cause not unwrapped: %v", got)
+	}
+	fails, failBytes := eng.FailStats()
+	if fails != 1 || failBytes != 4 {
+		t.Fatalf("FailStats = %d/%d, want 1/4", fails, failBytes)
+	}
+	done, bytes := eng.Stats()
+	if done != 0 || bytes != 0 {
+		t.Fatalf("failed transfer counted as success: %d/%d", done, bytes)
+	}
+
+	// The engine is idle and reusable.
+	if eng.Busy() {
+		t.Fatal("engine busy after failed completion")
+	}
+	if err := eng.Start(0x1000, addr.DevProxy(0, 64), 4); err != nil {
+		t.Fatal(err)
+	}
+	clock.RunUntilIdle()
+	done, _ = eng.Stats()
+	if done != 1 {
+		t.Fatal("post-failure transfer did not complete")
+	}
+}
+
+// TestDevToMemCompletionFault covers the read direction: the device's
+// Read fails, the memory side is untouched, the error is typed.
+func TestDevToMemCompletionFault(t *testing.T) {
+	clock := sim.NewClock()
+	costs := &sim.CostModel{
+		CPUHz: 60e6, DMAStartup: 10, DMABytesPerCyc: 2, LinkBytesPerCyc: 1,
+	}
+	ram := mem.NewPhysical(16)
+	devmap := device.NewMap()
+	faulty := device.NewFaulty(device.NewBuffer("buf", 4, 0, 0))
+	if err := devmap.Attach(faulty, 0); err != nil {
+		t.Fatal(err)
+	}
+	eng := New(clock, costs, bus.New(clock, costs), ram, devmap)
+
+	var got error
+	eng.OnComplete(func(err error) { got = err })
+	ram.Write(0x2000, []byte{0xAA, 0xAA, 0xAA, 0xAA})
+	faulty.FailNext = 1
+	if err := eng.Start(addr.DevProxy(0, 0), 0x2000, 4); err != nil {
+		t.Fatal(err)
+	}
+	clock.RunUntilIdle()
+	var te *TransferError
+	if !errors.As(got, &te) || te.Kind != FaultDevice {
+		t.Fatalf("error = %v", got)
+	}
+	w, _ := ram.Read(0x2000, 4)
+	for _, b := range w {
+		if b != 0xAA {
+			t.Fatal("failed read clobbered memory")
+		}
+	}
+}

@@ -65,6 +65,7 @@ var registry = map[string]struct {
 	"e9":  {"Section 8: NIPT translation and capacity", RunNIPT},
 	"e10": {"Section 8: four-node prototype, aggregate bandwidth", RunPrototype},
 	"e11": {"Extension: automatic update vs deliberate update", RunAutoVsDeliberate},
+	"e12": {"Extension: fault injection and per-transfer error recovery", RunFaultInjection},
 }
 
 // IDs returns the registered experiment ids in order.

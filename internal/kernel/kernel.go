@@ -67,6 +67,8 @@ type Stats struct {
 	Segfaults        uint64
 	CleanedPages     uint64
 	CleanRaceKeeps   uint64 // I3: dirty kept because DMA was in flight
+	DMAFailures      uint64 // engine completions that carried an error
+	MachineChecks    uint64 // MachineCheck invocations
 }
 
 // Kernel is one node's operating system instance.
@@ -99,6 +101,15 @@ type Kernel struct {
 	// engineWaiters are processes blocked until the next DMA engine
 	// completion (the traditional-DMA syscall path).
 	engineWaiters []*Proc
+	// engineNotify is a one-shot slot the traditional-DMA path arms
+	// after Start: the next completion's error is delivered through it.
+	// Exactly one transfer is in flight at a time, so the completion
+	// that fires while the slot is armed is that transfer's.
+	engineNotify func(err error)
+	// abortEpoch increments on every MachineCheck, letting a process
+	// whose in-flight transfer was aborted (no completion will fire)
+	// observe the termination instead of sleeping forever.
+	abortEpoch uint64
 
 	// runLimit is the current Run deadline; charge yields past it so
 	// non-blocking processes cannot wedge the scheduler.
@@ -151,8 +162,17 @@ func New(clock *sim.Clock, costs *sim.CostModel, ram *mem.Physical, swap *mem.Ba
 		k.freeList = append(k.freeList, pfn)
 	}
 
-	// Wake traditional-DMA waiters on every engine completion.
-	engine.OnComplete(func(error) {
+	// Wake traditional-DMA waiters on every engine completion; count
+	// failed completions so the experiments can see the error rate the
+	// kernel observed on its interrupt line.
+	engine.OnComplete(func(err error) {
+		if err != nil {
+			k.stats.DMAFailures++
+		}
+		if fn := k.engineNotify; fn != nil {
+			k.engineNotify = nil
+			fn(err)
+		}
 		waiters := k.engineWaiters
 		k.engineWaiters = nil
 		for _, p := range waiters {
@@ -160,6 +180,44 @@ func New(clock *sim.Clock, costs *sim.CostModel, ram *mem.Physical, swap *mem.Ba
 		}
 	})
 	return k
+}
+
+// MachineCheck is the kernel's response to a memory-system error the
+// DMA hardware cannot handle transparently — exactly the situation the
+// paper's termination discussion anticipates. It charges the interrupt
+// cost, invokes the controller's Terminate (aborting the in-flight
+// transfer, discarding every queued request, and failing outstanding
+// system tickets with core.ErrTerminated), and wakes any process
+// blocked on the engine so it observes its failed ticket instead of
+// sleeping forever. It returns how many transfers were discarded.
+func (k *Kernel) MachineCheck(reason error) int {
+	k.stats.MachineChecks++
+	msg := ""
+	if reason != nil {
+		msg = reason.Error()
+	}
+	k.tracer.Record(trace.EvMachineCheck, 0, 0, msg)
+	k.clock.Advance(k.costs.InterruptEntry)
+	n := 0
+	if k.udma != nil {
+		n = k.udma.Terminate()
+	} else if k.engine.Busy() {
+		// A machine without the UDMA extension still aborts the raw
+		// engine transfer.
+		k.engine.Abort()
+		n = 1
+	}
+	// The aborted transfer's completion will never fire: bump the epoch
+	// so its waiter returns ErrTerminated, and disarm the notify slot so
+	// an unrelated later completion cannot be misattributed.
+	k.abortEpoch++
+	k.engineNotify = nil
+	waiters := k.engineWaiters
+	k.engineWaiters = nil
+	for _, p := range waiters {
+		k.wake(p)
+	}
+	return n
 }
 
 // SetTracer attaches an event tracer (nil disables tracing).

@@ -301,10 +301,27 @@ func (p *Proc) engineTransfer(src, dst addr.PAddr, count int) error {
 		}
 		k.blockOnEngine(p)
 	}
-	// Sleep until this transfer's completion; the single request-level
-	// interrupt is charged by the caller.
-	for k.engine.Busy() {
+	// Sleep until the transfer is over; the single request-level
+	// interrupt is charged by the caller. The notify slot captures the
+	// completion's per-transfer error (the next completion is ours:
+	// user work initiated after our Start queues behind it). But
+	// without the reserved system queue the kernel shares the engine's
+	// interrupt with user transfers and holds no ticket, so it cannot
+	// return at "its" interrupt — it conservatively sleeps until the
+	// engine falls idle. A machine check that aborts the transfer (its
+	// completion never fires) bumps the epoch instead.
+	epoch := k.abortEpoch
+	done := false
+	var transferErr error
+	k.engineNotify = func(err error) {
+		done = true
+		transferErr = err
+	}
+	for !done || k.engine.Busy() {
+		if !done && k.abortEpoch != epoch {
+			return core.ErrTerminated
+		}
 		k.blockOnEngine(p)
 	}
-	return nil
+	return transferErr
 }

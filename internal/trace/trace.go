@@ -14,6 +14,7 @@ package trace
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 
 	"shrimp/internal/sim"
@@ -30,6 +31,7 @@ const (
 	EvInitiation
 	EvBadLoad
 	EvTransferDone
+	EvTransferFail
 	EvTerminate
 	// Kernel events.
 	EvContextSwitch
@@ -38,6 +40,7 @@ const (
 	EvEviction
 	EvPageIn
 	EvSegfault
+	EvMachineCheck
 	// Network events.
 	EvPacketSend
 	EvPacketRecv
@@ -50,6 +53,7 @@ var kindNames = map[Kind]string{
 	EvInitiation:    "initiate",
 	EvBadLoad:       "badload",
 	EvTransferDone:  "xfer-done",
+	EvTransferFail:  "xfer-fail",
 	EvTerminate:     "terminate",
 	EvContextSwitch: "ctx-switch",
 	EvPageFault:     "page-fault",
@@ -57,8 +61,21 @@ var kindNames = map[Kind]string{
 	EvEviction:      "evict",
 	EvPageIn:        "page-in",
 	EvSegfault:      "segfault",
+	EvMachineCheck:  "machine-check",
 	EvPacketSend:    "pkt-send",
 	EvPacketRecv:    "pkt-recv",
+}
+
+// Kinds returns every known event kind in numeric order, derived from
+// the name table so newly added kinds cannot be silently dropped by
+// summaries.
+func Kinds() []Kind {
+	out := make([]Kind, 0, len(kindNames))
+	for k := range kindNames {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // String returns the event kind's short name.
@@ -183,11 +200,13 @@ func (t *Tracer) Counts() map[Kind]uint64 {
 	return out
 }
 
-// Summary renders the per-kind counts compactly.
+// Summary renders the per-kind counts compactly. The kind list is
+// derived from the name table, so every kind — including ones added
+// after this function was written — is reported.
 func (t *Tracer) Summary() string {
 	counts := t.Counts()
 	var parts []string
-	for k := EvStore; k <= EvPacketRecv; k++ {
+	for _, k := range Kinds() {
 		if c := counts[k]; c > 0 {
 			parts = append(parts, fmt.Sprintf("%s=%d", k, c))
 		}

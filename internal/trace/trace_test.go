@@ -135,3 +135,41 @@ func TestNewRequiresClock(t *testing.T) {
 	}()
 	New(nil, 8)
 }
+
+// TestKindsCoverEveryDeclaredKind is the regression test for the
+// summary dropping kinds: every constant from EvStore through
+// EvPacketRecv must be named and enumerated by Kinds(), so Summary can
+// never silently omit an event class (the fault-recovery kinds
+// EvTransferFail and EvMachineCheck were invisible to the old
+// hand-maintained list).
+func TestKindsCoverEveryDeclaredKind(t *testing.T) {
+	kinds := Kinds()
+	if len(kinds) != int(EvPacketRecv)+1 {
+		t.Fatalf("Kinds() enumerates %d kinds, want %d", len(kinds), int(EvPacketRecv)+1)
+	}
+	for i, k := range kinds {
+		if int(k) != i {
+			t.Fatalf("Kinds()[%d] = %v (gap or duplicate)", i, k)
+		}
+		if strings.HasPrefix(k.String(), "kind(") {
+			t.Fatalf("kind %d has no name", i)
+		}
+	}
+}
+
+// TestSummaryIncludesFaultKinds: the new fault-path events show up in
+// the per-kind summary.
+func TestSummaryIncludesFaultKinds(t *testing.T) {
+	tr := New(sim.NewClock(), 8)
+	tr.Record(EvTransferFail, 0x4000, 64, "bounds")
+	tr.Record(EvTransferFail, 0x5000, 64, "injected")
+	tr.Record(EvMachineCheck, 0, 0, "parity")
+	sum := tr.Summary()
+	if !strings.Contains(sum, "xfer-fail=2") || !strings.Contains(sum, "machine-check=1") {
+		t.Fatalf("summary = %q", sum)
+	}
+	counts := tr.Counts()
+	if counts[EvTransferFail] != 2 || counts[EvMachineCheck] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+}

@@ -1,0 +1,174 @@
+package udmalib_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"shrimp/internal/addr"
+	"shrimp/internal/device"
+	"shrimp/internal/kernel"
+	"shrimp/internal/machine"
+	"shrimp/internal/udmalib"
+)
+
+// newFaultyNode builds a node whose buffer device sits behind a fault
+// injector.
+func newFaultyNode(t *testing.T, cfg machine.Config) (*machine.Node, *device.Buffer, *device.Faulty) {
+	t.Helper()
+	n := machine.New(0, cfg)
+	buf := device.NewBuffer("buf", 32, 4, 0)
+	faulty := device.NewFaulty(buf)
+	n.AttachDevice(faulty, 0)
+	t.Cleanup(n.Kernel.Shutdown)
+	return n, buf, faulty
+}
+
+func TestSendRetryRecoversFromCompletionFault(t *testing.T) {
+	n, buf, faulty := newFaultyNode(t, machine.Config{})
+	payload := pattern(1024)
+	var err2 error
+	var st udmalib.Stats
+	n.Kernel.Spawn("p", func(p *kernel.Proc) {
+		d, err := udmalib.Open(p, faulty, true)
+		if err != nil {
+			err2 = err
+			return
+		}
+		va, _ := p.Alloc(4096)
+		p.WriteBuf(va, payload)
+		faulty.FailNext = 1 // first attempt fails at completion
+		err2 = d.SendRetry(va, 0, len(payload), udmalib.DefaultRetryPolicy())
+		st = d.Stats()
+	})
+	run(t, n)
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	if !bytes.Equal(buf.Bytes(0, len(payload)), payload) {
+		t.Fatal("recovered send did not deliver")
+	}
+	if st.Failures == 0 || st.Backoffs != 1 {
+		t.Fatalf("stats = %+v, want one observed failure and one backoff", st)
+	}
+}
+
+func TestSendRetryRecoversFromRejection(t *testing.T) {
+	n, buf, faulty := newFaultyNode(t, machine.Config{})
+	payload := pattern(512)
+	var err2 error
+	n.Kernel.Spawn("p", func(p *kernel.Proc) {
+		d, err := udmalib.Open(p, faulty, true)
+		if err != nil {
+			err2 = err
+			return
+		}
+		va, _ := p.Alloc(4096)
+		p.WriteBuf(va, payload)
+		faulty.RejectNext = 1 // initiation LOAD reports error bits
+		err2 = d.SendRetry(va, 0, len(payload), udmalib.DefaultRetryPolicy())
+	})
+	run(t, n)
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	if !bytes.Equal(buf.Bytes(0, len(payload)), payload) {
+		t.Fatal("recovered send did not deliver")
+	}
+}
+
+func TestSendRetryExhaustsOnPersistentFault(t *testing.T) {
+	n, _, faulty := newFaultyNode(t, machine.Config{})
+	var err2 error
+	var st udmalib.Stats
+	n.Kernel.Spawn("p", func(p *kernel.Proc) {
+		d, err := udmalib.Open(p, faulty, true)
+		if err != nil {
+			err2 = err
+			return
+		}
+		va, _ := p.Alloc(4096)
+		p.WriteBuf(va, pattern(256))
+		faulty.FailNext = 1 << 20 // persistently broken
+		err2 = d.SendRetry(va, 0, 256, udmalib.RetryPolicy{MaxAttempts: 3, Backoff: 64})
+		st = d.Stats()
+	})
+	run(t, n)
+	var ex *udmalib.RetryExhaustedError
+	if !errors.As(err2, &ex) {
+		t.Fatalf("error = %v (%T), want *RetryExhaustedError", err2, err2)
+	}
+	if ex.Attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", ex.Attempts)
+	}
+	var hard *udmalib.HardError
+	if !errors.As(err2, &hard) {
+		t.Fatalf("exhaustion does not unwrap to the last HardError: %v", err2)
+	}
+	if hard.Status.DeviceErr() == 0 {
+		t.Fatalf("last status carries no error bits: %v", hard.Status)
+	}
+	if st.Backoffs != 2 {
+		t.Fatalf("backoffs = %d, want 2 (between 3 attempts)", st.Backoffs)
+	}
+}
+
+// TestSendRetryPassesThroughNonTransferErrors: errors that are not
+// hardware transfer failures (here, a segfault on an unmapped source)
+// must not be retried.
+func TestSendRetryPassesThroughNonTransferErrors(t *testing.T) {
+	n, _, faulty := newFaultyNode(t, machine.Config{})
+	var err2 error
+	var st udmalib.Stats
+	n.Kernel.Spawn("p", func(p *kernel.Proc) {
+		d, err := udmalib.Open(p, faulty, true)
+		if err != nil {
+			err2 = err
+			return
+		}
+		err2 = d.SendRetry(0x00F0_0000, 0, 64, udmalib.DefaultRetryPolicy())
+		st = d.Stats()
+	})
+	run(t, n)
+	if err2 == nil {
+		t.Fatal("unmapped source did not error")
+	}
+	var ex *udmalib.RetryExhaustedError
+	if errors.As(err2, &ex) {
+		t.Fatalf("non-transfer error was retried to exhaustion: %v", err2)
+	}
+	if st.Backoffs != 0 {
+		t.Fatalf("backoffs = %d on a non-retryable error", st.Backoffs)
+	}
+}
+
+// TestWaitSurfacesCompletionFailure: a transfer accepted and initiated
+// asynchronously whose completion later fails must surface that failure
+// on the Wait poll via the status word's error bits.
+func TestWaitSurfacesCompletionFailure(t *testing.T) {
+	n, _, faulty := newFaultyNode(t, machine.Config{})
+	var err2 error
+	n.Kernel.Spawn("p", func(p *kernel.Proc) {
+		d, err := udmalib.Open(p, faulty, true)
+		if err != nil {
+			err2 = err
+			return
+		}
+		va, _ := p.Alloc(4096)
+		p.WriteBuf(va, pattern(512))
+		faulty.FailNext = 1
+		if err := d.SendAsync(va, 0, 512); err != nil {
+			err2 = err
+			return
+		}
+		err2 = d.Wait(addr.VProxy(va))
+	})
+	run(t, n)
+	var hard *udmalib.HardError
+	if !errors.As(err2, &hard) {
+		t.Fatalf("Wait returned %v (%T), want *HardError", err2, err2)
+	}
+	if hard.Op != "wait" || hard.Status.DeviceErr() == 0 {
+		t.Fatalf("hard error = op %q status %v", hard.Op, hard.Status)
+	}
+}

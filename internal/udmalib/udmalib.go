@@ -15,6 +15,7 @@
 package udmalib
 
 import (
+	"errors"
 	"fmt"
 
 	"shrimp/internal/addr"
@@ -60,6 +61,8 @@ type Stats struct {
 	Retries     uint64
 	Polls       uint64
 	SplitPages  uint64 // extra transfers due to page-boundary crossings
+	Failures    uint64 // transfers observed to fail (status error bits)
+	Backoffs    uint64 // SendRetry backoff waits
 }
 
 // Dev is a process's handle to a mapped UDMA device.
@@ -122,6 +125,69 @@ func (d *Dev) SendAsync(va addr.VAddr, devOff uint32, n int) error {
 // at va (devices that support device→memory UDMA only).
 func (d *Dev) Recv(va addr.VAddr, devOff uint32, n int) error {
 	return d.transfer(va, devOff, n, false, true)
+}
+
+// RetryPolicy bounds SendRetry: at most MaxAttempts total attempts,
+// with an exponential backoff (Backoff, 2·Backoff, 4·Backoff, …
+// simulated cycles of CPU delay) between them.
+type RetryPolicy struct {
+	MaxAttempts int
+	Backoff     sim.Cycles
+}
+
+// DefaultRetryPolicy retries a handful of times starting from a short
+// backoff — enough to ride out transient device faults without hiding a
+// persistently broken endpoint.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 4, Backoff: 256}
+}
+
+// RetryExhaustedError reports that SendRetry gave up: every attempt
+// failed with a hard (non-retryable) transfer error.
+type RetryExhaustedError struct {
+	Attempts int
+	Last     error // the final attempt's HardError
+}
+
+func (e *RetryExhaustedError) Error() string {
+	return fmt.Sprintf("udmalib: transfer still failing after %d attempts: %v", e.Attempts, e.Last)
+}
+
+// Unwrap exposes the last attempt's error for errors.Is/As.
+func (e *RetryExhaustedError) Unwrap() error { return e.Last }
+
+// SendRetry is Send with bounded recovery from per-transfer hardware
+// failures: when a transfer is rejected or fails mid-flight (a
+// HardError carrying the status word's error bits), the library backs
+// off for an exponentially growing number of simulated cycles and
+// re-sends the message, up to the policy's attempt budget. The resend
+// restarts the whole message — UDMA transfers are idempotent page
+// writes, so re-delivering already-arrived pages is safe. Errors that
+// are not transfer failures (segfaults, bad arguments) are returned
+// immediately.
+func (d *Dev) SendRetry(va addr.VAddr, devOff uint32, n int, pol RetryPolicy) error {
+	if pol.MaxAttempts <= 0 {
+		pol.MaxAttempts = 1
+	}
+	backoff := pol.Backoff
+	var last error
+	for attempt := 0; attempt < pol.MaxAttempts; attempt++ {
+		err := d.Send(va, devOff, n)
+		if err == nil {
+			return nil
+		}
+		var hard *HardError
+		if !errors.As(err, &hard) {
+			return err
+		}
+		last = err
+		if attempt+1 < pol.MaxAttempts && backoff > 0 {
+			d.stats.Backoffs++
+			d.p.Compute(backoff)
+			backoff *= 2
+		}
+	}
+	return &RetryExhaustedError{Attempts: pol.MaxAttempts, Last: last}
 }
 
 // QueuedSend initiates every page of the message back-to-back, relying
@@ -230,6 +296,7 @@ func (d *Dev) initiateQueued(destVA, srcVA addr.VAddr, n int) (core.Status, erro
 			continue
 		}
 		if st.Failed() {
+			d.stats.Failures++
 			return st, &HardError{Status: st, Op: "queued initiate"}
 		}
 		d.stats.Retries++
@@ -244,7 +311,10 @@ func (d *Dev) initiateQueued(destVA, srcVA addr.VAddr, n int) (core.Status, erro
 // Wait polls the status word at the given proxy virtual address until
 // no transfer based there remains in flight — the paper's completion
 // idiom: "the user process should repeat the LOAD instruction that it
-// used to start the transfer."
+// used to start the transfer." A transfer that was accepted but later
+// failed (completion fault, dequeue rejection, kernel Terminate)
+// surfaces here: the poll that observes the cleared MATCH flag carries
+// the controller's latched error bits, and Wait returns a HardError.
 func (d *Dev) Wait(proxyVA addr.VAddr) error {
 	for {
 		d.stats.Polls++
@@ -252,7 +322,12 @@ func (d *Dev) Wait(proxyVA addr.VAddr) error {
 		if err != nil {
 			return err
 		}
-		if !core.Status(v).Match() {
+		st := core.Status(v)
+		if !st.Match() {
+			if st.DeviceErr() != 0 {
+				d.stats.Failures++
+				return &HardError{Status: st, Op: "wait"}
+			}
 			return nil
 		}
 		if d.tun.PollGapCycles > 0 {
@@ -324,6 +399,7 @@ func (d *Dev) initiate(destVA, srcVA addr.VAddr, n int) (core.Status, error) {
 			return st, nil
 		}
 		if st.Failed() {
+			d.stats.Failures++
 			return st, &HardError{Status: st, Op: "initiate"}
 		}
 		// Busy or invalidated: "the user process can deduce what
