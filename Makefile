@@ -1,6 +1,7 @@
 GO ?= go
+GOFMT ?= gofmt
 
-.PHONY: all build vet test race check experiments faults
+.PHONY: all build vet fmt test race check bench experiments faults
 
 all: check
 
@@ -10,18 +11,29 @@ build:
 vet:
 	$(GO) vet ./...
 
+# fmt fails (listing the offenders) if any file is not gofmt-clean.
+fmt:
+	@out=$$($(GOFMT) -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
 
-# check is the CI gate: everything must compile, vet clean, and pass
-# the test suite under the race detector.
-check: build vet race
+# check is the CI gate: everything must compile, vet and gofmt clean,
+# and pass the test suite under the race detector.
+check: build vet fmt race
+
+# bench runs every experiment and records the machine-readable headline
+# metrics (bandwidth, latency percentiles, delivery counts) in
+# BENCH_udma.json at the repo root for regression tracking.
+bench:
+	$(GO) run ./cmd/udmabench -json BENCH_udma.json
 
 experiments:
-	$(GO) run ./cmd/udmabench -exp all
+	$(GO) run ./cmd/udmabench
 
 faults:
 	$(GO) run ./cmd/shrimpsim -scenario faults

@@ -9,12 +9,23 @@
 //	shrimpsim -scenario share       # untrusting processes share the device
 //	shrimpsim -scenario paging      # UDMA under memory pressure (I2/I4)
 //	shrimpsim -scenario faults      # injected faults, per-transfer recovery
+//	shrimpsim -scenario contention  # queued senders: latency under load
 //	shrimpsim -nodes 8 -size 16384  # scenario parameters
+//
+// Observation flags (work with every scenario; telemetry is a pure
+// observer, so they never change simulated results):
+//
+//	-metrics              print a telemetry snapshot (counters, gauges,
+//	                      latency histograms with p50/p90/p99)
+//	-metrics-out FILE     write the snapshot as JSON
+//	-trace-out FILE       write a Chrome trace_event JSON file; open it
+//	                      at https://ui.perfetto.dev
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -26,6 +37,7 @@ import (
 	"shrimp/internal/machine"
 	"shrimp/internal/nic"
 	"shrimp/internal/sim"
+	"shrimp/internal/telemetry"
 	"shrimp/internal/trace"
 	"shrimp/internal/udmalib"
 	"shrimp/internal/workload"
@@ -33,31 +45,41 @@ import (
 
 func main() {
 	var (
-		scenario  = flag.String("scenario", "send", "send | cluster | share | paging | autoupdate | faults")
-		nodes     = flag.Int("nodes", 4, "cluster scenario: node count")
-		size      = flag.Int("size", 4096, "message size in bytes")
-		senders   = flag.Int("senders", 4, "share scenario: processes")
-		seed      = flag.Uint64("seed", experiments.FaultSeed, "faults scenario: fault-injection RNG seed")
-		withTrace = flag.Bool("trace", false, "send scenario: dump the hardware event trace")
+		scenario   = flag.String("scenario", "send", "send | cluster | share | paging | autoupdate | faults | contention")
+		nodes      = flag.Int("nodes", 4, "cluster scenario: node count")
+		size       = flag.Int("size", 4096, "message size in bytes")
+		senders    = flag.Int("senders", 4, "share/contention scenarios: processes")
+		seed       = flag.Uint64("seed", experiments.FaultSeed, "faults scenario: fault-injection RNG seed")
+		withTrace  = flag.Bool("trace", false, "send scenario: dump the hardware event trace")
+		metrics    = flag.Bool("metrics", false, "print a telemetry snapshot after the scenario")
+		metricsOut = flag.String("metrics-out", "", "write the telemetry snapshot as JSON to this file")
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace_event JSON file (Perfetto) to this file")
 	)
 	flag.Parse()
+
+	o := newObs(*metrics, *metricsOut, *traceOut)
 
 	var err error
 	switch *scenario {
 	case "send":
-		err = scenarioSend(*size, *withTrace)
+		err = scenarioSend(*size, *withTrace, o)
 	case "cluster":
-		err = scenarioCluster(*nodes, *size)
+		err = scenarioCluster(*nodes, *size, o)
 	case "share":
-		err = scenarioShare(*senders, *size)
+		err = scenarioShare(*senders, *size, o)
 	case "paging":
-		err = scenarioPaging(*size)
+		err = scenarioPaging(*size, o)
 	case "autoupdate":
-		err = scenarioAutoUpdate()
+		err = scenarioAutoUpdate(o)
 	case "faults":
 		err = scenarioFaults(*seed)
+	case "contention":
+		err = scenarioContention(*senders, *size, o)
 	default:
 		err = fmt.Errorf("unknown scenario %q", *scenario)
+	}
+	if err == nil {
+		err = o.finish(os.Stdout)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "shrimpsim: %v\n", err)
@@ -65,18 +87,101 @@ func main() {
 	}
 }
 
-func scenarioSend(size int, withTrace bool) error {
+// obs bundles the observation flags: one telemetry registry shared by
+// every layer of the scenario's machine(s), plus the tracer sources that
+// feed the Chrome trace export. All fields stay nil when no observation
+// flag is set, so scenarios pay nothing.
+type obs struct {
+	metrics    bool
+	metricsOut string
+	traceOut   string
+	reg        *telemetry.Registry
+	sources    []telemetry.TraceSource
+	costs      *sim.CostModel
+}
+
+func newObs(metrics bool, metricsOut, traceOut string) *obs {
+	o := &obs{metrics: metrics, metricsOut: metricsOut, traceOut: traceOut}
+	if metrics || metricsOut != "" || traceOut != "" {
+		o.reg = telemetry.New()
+	}
+	return o
+}
+
+// registry returns the shared registry (nil when observation is off —
+// every SetMetrics consumer treats that as "instruments disabled").
+func (o *obs) registry() *telemetry.Registry { return o.reg }
+
+// addSource registers a hardware tracer for the Chrome trace export.
+func (o *obs) addSource(name string, tr *trace.Tracer) {
+	if tr != nil {
+		o.sources = append(o.sources, telemetry.TraceSource{Name: name, Tracer: tr})
+	}
+}
+
+// setCosts records the cost model used to convert cycles to trace
+// timestamps (the last scenario machine wins; scenarios share one model).
+func (o *obs) setCosts(c *sim.CostModel) { o.costs = c }
+
+// finish renders whatever the flags asked for.
+func (o *obs) finish(w io.Writer) error {
+	if o.reg == nil {
+		return nil
+	}
+	snap := o.reg.Snapshot()
+	if o.metrics {
+		fmt.Fprintln(w, "\n# telemetry snapshot")
+		snap.WriteText(w)
+	}
+	if o.metricsOut != "" {
+		f, err := os.Create(o.metricsOut)
+		if err != nil {
+			return err
+		}
+		if err := snap.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "telemetry snapshot written to %s\n", o.metricsOut)
+	}
+	if o.traceOut != "" {
+		costs := o.costs
+		if costs == nil {
+			costs = machine.SHRIMP1996()
+		}
+		f, err := os.Create(o.traceOut)
+		if err != nil {
+			return err
+		}
+		if err := telemetry.WriteChromeTrace(f, costs, o.reg, o.sources...); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "trace written to %s (open at https://ui.perfetto.dev)\n", o.traceOut)
+	}
+	return nil
+}
+
+func scenarioSend(size int, withTrace bool, o *obs) error {
 	fmt.Printf("# one-node UDMA send of %d bytes to a buffer device\n", size)
-	n := machine.New(0, machine.Config{})
+	n := machine.New(0, machine.Config{Metrics: o.registry()})
+	o.setCosts(n.Costs)
 	buf := device.NewBuffer("buf", uint32(size/addr.PageSize+2), 4, 0)
 	n.AttachDevice(buf, 0)
 	defer n.Kernel.Shutdown()
 
 	var tr *trace.Tracer
-	if withTrace {
+	if withTrace || o.traceOut != "" {
 		tr = trace.New(n.Clock, 256)
 		n.UDMA.SetTracer(tr)
 		n.Kernel.SetTracer(tr)
+		o.addSource("node0", tr)
 	}
 
 	var done sim.Cycles
@@ -112,13 +217,15 @@ func scenarioSend(size int, withTrace bool) error {
 	return nil
 }
 
-func scenarioCluster(nodes, size int) error {
+func scenarioCluster(nodes, size int, o *obs) error {
 	fmt.Printf("# %d-node deliberate-update ring, %d bytes per message\n", nodes, size)
 	c := cluster.New(cluster.Config{
 		Nodes:   nodes,
 		Machine: machine.Config{RAMFrames: 128},
 		NIC:     nic.Config{NIPTPages: 64},
+		Metrics: o.registry(),
 	})
+	o.setCosts(c.Nodes[0].Costs)
 	defer c.Shutdown()
 
 	pages := (size + addr.PageSize - 1) / addr.PageSize
@@ -161,14 +268,17 @@ func scenarioCluster(nodes, size int) error {
 			i, s.BytesSent, s.PacketsSent, s.BytesReceived,
 			c.Nodes[i].Costs.Micros(c.Nodes[i].Clock.Now()))
 	}
+	c.PublishRollup()
 	return nil
 }
 
-func scenarioShare(senders, size int) error {
+func scenarioShare(senders, size int, o *obs) error {
 	fmt.Printf("# %d untrusting processes share one UDMA device (%d B messages)\n", senders, size)
 	n := machine.New(0, machine.Config{
-		Kernel: kernel.Config{Quantum: 2000},
+		Kernel:  kernel.Config{Quantum: 2000},
+		Metrics: o.registry(),
 	})
+	o.setCosts(n.Costs)
 	buf := device.NewBuffer("buf", uint32(senders+1), 4, 0)
 	n.AttachDevice(buf, 0)
 	defer n.Kernel.Shutdown()
@@ -218,9 +328,10 @@ func scenarioShare(senders, size int) error {
 	return nil
 }
 
-func scenarioAutoUpdate() error {
+func scenarioAutoUpdate(o *obs) error {
 	fmt.Println("# automatic update: plain stores propagate to a remote page, no initiation at all")
-	c := cluster.New(cluster.Config{Nodes: 2, NIC: nic.Config{NIPTPages: 8}})
+	c := cluster.New(cluster.Config{Nodes: 2, NIC: nic.Config{NIPTPages: 8}, Metrics: o.registry()})
+	o.setCosts(c.Nodes[0].Costs)
 	defer c.Shutdown()
 
 	var sendErr error
@@ -252,6 +363,7 @@ func scenarioAutoUpdate() error {
 	fmt.Printf("snooped words: %d, combined packets: %d\n", st.AutoWords, st.AutoPackets)
 	w, _ := c.Nodes[1].RAM.ReadWord(addr.FrameAddr(40))
 	fmt.Printf("remote word 0 = %#x (want 0x1000)\n", w)
+	c.PublishRollup()
 	return nil
 }
 
@@ -305,9 +417,10 @@ func scenarioFaults(seed uint64) error {
 	return nil
 }
 
-func scenarioPaging(size int) error {
+func scenarioPaging(size int, o *obs) error {
 	fmt.Printf("# UDMA sends while a pager thrashes memory (I2/I4 at work)\n")
-	n := machine.New(0, machine.Config{RAMFrames: 48})
+	n := machine.New(0, machine.Config{RAMFrames: 48, Metrics: o.registry()})
+	o.setCosts(n.Costs)
 	buf := device.NewBuffer("buf", 8, 4, 0)
 	n.AttachDevice(buf, 0)
 	defer n.Kernel.Shutdown()
@@ -336,5 +449,72 @@ func scenarioPaging(size int) error {
 	fmt.Printf("evictions: %d, page-ins: %d, I4 guard skips: %d, proxy faults: %d, pins: %d\n",
 		ks.Evictions, ks.PageIns, ks.EvictionStallsI4, ks.ProxyFaults, ks.Pins)
 	fmt.Println("no page was ever pinned for UDMA; the replacement sweep simply avoided in-flight frames")
+	return nil
+}
+
+// scenarioContention drives many time-sliced senders through one UDMA
+// controller so its request queue actually fills: transfer latency
+// (enqueue to completion) and queue wait become distributions worth
+// looking at, which is exactly what the telemetry histograms are for.
+func scenarioContention(senders, size int, o *obs) error {
+	const messages = 64
+	fmt.Printf("# %d time-sliced senders push %d × %d B messages through one UDMA controller\n",
+		senders, messages, size)
+	n := machine.New(0, machine.Config{
+		Kernel:  kernel.Config{Quantum: 2000},
+		Metrics: o.registry(),
+	})
+	o.setCosts(n.Costs)
+	if o.traceOut != "" {
+		tr := trace.New(n.Clock, 4096)
+		n.UDMA.SetTracer(tr)
+		n.Kernel.SetTracer(tr)
+		o.addSource("node0", tr)
+	}
+	buf := device.NewBuffer("buf", uint32(senders+1), 4, 0)
+	n.AttachDevice(buf, 0)
+	defer n.Kernel.Shutdown()
+
+	errs := make([]error, senders)
+	retries := make([]uint64, senders)
+	for i := 0; i < senders; i++ {
+		i := i
+		n.Kernel.Spawn(fmt.Sprintf("p%d", i), func(p *kernel.Proc) {
+			d, err := udmalib.Open(p, buf, true)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			va, _ := p.Alloc(size)
+			p.WriteBuf(va, workload.Payload(size, byte(i+1)))
+			for m := 0; m < messages; m++ {
+				if err := d.Send(va, uint32(i)<<addr.PageShift, size); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+			retries[i] = d.Stats().Retries
+		})
+	}
+	if err := n.Kernel.Run(sim.Forever); err != nil {
+		return err
+	}
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("process %d: %w", i, err)
+		}
+	}
+	var totalRetries uint64
+	for _, r := range retries {
+		totalRetries += r
+	}
+	us := n.UDMA.Stats()
+	ks := n.Kernel.Stats()
+	fmt.Printf("%d transfers completed in %.0f µs: %d retries, %d context switches, %d Invals\n",
+		us.Completions, n.Micros(n.Clock.Now()), totalRetries,
+		ks.ContextSwitches, ks.Invals)
+	if o.registry() == nil {
+		fmt.Println("(rerun with -metrics to see the latency distribution)")
+	}
 	return nil
 }

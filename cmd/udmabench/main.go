@@ -9,10 +9,12 @@
 //	udmabench -exp e1      # run one experiment (e1..e10)
 //	udmabench -list        # list experiments
 //	udmabench -csv dir     # also write series/tables as CSV files
+//	udmabench -json FILE   # write per-experiment headline metrics as JSON
 //	udmabench -plot        # draw ASCII plots for series (Figure 8 etc.)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -25,10 +27,11 @@ import (
 
 func main() {
 	var (
-		exp  = flag.String("exp", "", "run a single experiment id (e1..e10)")
-		list = flag.Bool("list", false, "list experiments and exit")
-		csv  = flag.String("csv", "", "directory to write CSV output into")
-		plot = flag.Bool("plot", false, "render ASCII plots for series")
+		exp     = flag.String("exp", "", "run a single experiment id (e1..e10)")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		csv     = flag.String("csv", "", "directory to write CSV output into")
+		jsonOut = flag.String("json", "", "write per-experiment headline metrics as JSON to this file")
+		plot    = flag.Bool("plot", false, "render ASCII plots for series")
 	)
 	flag.Parse()
 
@@ -46,12 +49,14 @@ func main() {
 	}
 
 	failed := 0
+	var results []*experiments.Result
 	for _, id := range ids {
 		res, err := experiments.Run(id)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "udmabench: %s: %v\n", id, err)
 			os.Exit(1)
 		}
+		results = append(results, res)
 		printResult(res, *plot)
 		if *csv != "" {
 			if err := writeCSV(*csv, res); err != nil {
@@ -63,10 +68,53 @@ func main() {
 			failed++
 		}
 	}
+	if *jsonOut != "" {
+		if err := writeJSON(*jsonOut, results); err != nil {
+			fmt.Fprintf(os.Stderr, "udmabench: json: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "udmabench: %d experiment(s) failed their shape checks\n", failed)
 		os.Exit(1)
 	}
+}
+
+// jsonExperiment is the machine-readable record emitted per experiment:
+// pass/fail plus the headline metrics, for CI regression tracking.
+type jsonExperiment struct {
+	ID      string             `json:"id"`
+	Title   string             `json:"title"`
+	Passed  bool               `json:"passed"`
+	Checks  []jsonCheck        `json:"checks"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+type jsonCheck struct {
+	Name   string `json:"name"`
+	Pass   bool   `json:"pass"`
+	Detail string `json:"detail,omitempty"`
+}
+
+func writeJSON(path string, results []*experiments.Result) error {
+	out := make([]jsonExperiment, 0, len(results))
+	for _, res := range results {
+		je := jsonExperiment{
+			ID:      res.ID,
+			Title:   res.Title,
+			Passed:  res.Passed(),
+			Metrics: res.Metrics,
+		}
+		for _, c := range res.Checks {
+			je.Checks = append(je.Checks, jsonCheck{Name: c.Name, Pass: c.Pass, Detail: c.Detail})
+		}
+		out = append(out, je)
+	}
+	return writeFile(path, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(out)
+	})
 }
 
 func printResult(res *experiments.Result, plot bool) {

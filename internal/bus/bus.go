@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"shrimp/internal/sim"
+	"shrimp/internal/telemetry"
 )
 
 // Bus is one I/O bus. Not safe for concurrent use; the simulator is
@@ -26,6 +27,31 @@ type Bus struct {
 	pioWords   uint64
 	bursts     uint64
 	waitCycles sim.Cycles
+
+	m busMetrics
+}
+
+// busMetrics holds the bus's telemetry instruments, resolved once at
+// attach time. All nil (free no-ops) until SetMetrics is called with a
+// live scope.
+type busMetrics struct {
+	bursts     *telemetry.Counter
+	burstBytes *telemetry.Counter
+	pioWords   *telemetry.Counter
+	wait       *telemetry.Histogram
+	occupancy  *telemetry.Counter // cycles the bus was reserved
+}
+
+// SetMetrics attaches telemetry instruments (nil scope disables them).
+// Recording is a pure observation: it never advances the clock.
+func (b *Bus) SetMetrics(s *telemetry.Scope) {
+	b.m = busMetrics{
+		bursts:     s.Counter("bus_bursts"),
+		burstBytes: s.Counter("bus_burst_bytes"),
+		pioWords:   s.Counter("bus_pio_words"),
+		wait:       s.Histogram("bus_wait_cycles"),
+		occupancy:  s.Counter("bus_busy_cycles"),
+	}
 }
 
 // New returns an idle bus on the given clock.
@@ -48,12 +74,18 @@ func (b *Bus) ReserveBurst(earliest sim.Cycles, n int) (start, end sim.Cycles) {
 	start = earliest
 	if b.busyUntil > start {
 		b.waitCycles += b.busyUntil - start
+		b.m.wait.Observe(uint64(b.busyUntil - start))
 		start = b.busyUntil
+	} else {
+		b.m.wait.Observe(0)
 	}
 	end = start + b.costs.DMAStartup + b.costs.DMACycles(n)
 	b.busyUntil = end
 	b.burstBytes += uint64(n)
 	b.bursts++
+	b.m.bursts.Inc()
+	b.m.burstBytes.Add(uint64(n))
+	b.m.occupancy.Add(uint64(end - start))
 	return start, end
 }
 
@@ -73,6 +105,8 @@ func (b *Bus) PIOWord() {
 	b.busyUntil = end
 	b.clock.AdvanceTo(end)
 	b.pioWords++
+	b.m.pioWords.Inc()
+	b.m.occupancy.Add(uint64(b.costs.PIOWordCost))
 }
 
 // BusyUntil returns the time the bus becomes free.

@@ -23,6 +23,7 @@ import (
 	"shrimp/internal/machine"
 	"shrimp/internal/nic"
 	"shrimp/internal/sim"
+	"shrimp/internal/telemetry"
 )
 
 // Config describes a cluster.
@@ -47,6 +48,13 @@ type Config struct {
 	FaultSeed       uint64
 	FaultRejectRate float64
 	FaultFailRate   float64
+
+	// Metrics attaches a telemetry registry to every node (bus, DMA
+	// engine, UDMA controller, kernel, NIC), each under its node=<id>
+	// label. Nil leaves all instruments as free no-ops. Telemetry is a
+	// pure observer: enabling it never changes simulated time, so runs
+	// with and without it are byte-identical.
+	Metrics *telemetry.Registry
 }
 
 // Cluster is the assembled machine.
@@ -60,7 +68,8 @@ type Cluster struct {
 	// from udmalib.
 	Faulty []*device.Faulty
 
-	window sim.Cycles
+	window  sim.Cycles
+	metrics *telemetry.Registry
 }
 
 // Dev returns the device attached to node i's proxy pages: the fault
@@ -91,13 +100,16 @@ func New(cfg Config) *Cluster {
 	c := &Cluster{
 		Backplane: interconnect.New(costs),
 		window:    window,
+		metrics:   cfg.Metrics,
 	}
 	for i := 0; i < cfg.Nodes; i++ {
 		mcfg := cfg.Machine
 		mcfg.Costs = costs
 		mcfg.Clock = nil // per-node clock
+		mcfg.Metrics = cfg.Metrics
 		node := machine.New(i, mcfg)
 		iface := nic.New(i, node.Clock, costs, node.RAM, node.Bus, c.Backplane, cfg.NIC)
+		iface.SetMetrics(node.Metrics)
 		var faulty *device.Faulty
 		var dev device.Device = iface
 		if cfg.FaultInject {
@@ -217,6 +229,35 @@ func kernelIdle(n *machine.Node) bool {
 	// A node is idle for termination purposes when no process can ever
 	// run again: the kernel reports all-exited via a zero-length Run.
 	return n.Kernel.AllExited()
+}
+
+// PublishRollup folds per-node hardware counters into cluster-level
+// telemetry: per-node clock gauges plus unlabeled cluster totals for
+// packets, payload bytes and receive drops. Call it after a run (it
+// reads hardware state, so mid-run calls capture a mid-run snapshot).
+// No-op without an attached registry.
+func (c *Cluster) PublishRollup() {
+	if c.metrics == nil {
+		return
+	}
+	var pktsSent, bytesSent, pktsRecv, bytesRecv, drops uint64
+	for i, n := range c.Nodes {
+		c.Nodes[i].Metrics.Gauge("node_clock_cycles").Set(int64(n.Clock.Now()))
+		s := c.NICs[i].Stats()
+		pktsSent += s.PacketsSent
+		bytesSent += s.BytesSent
+		pktsRecv += s.PacketsReceived
+		bytesRecv += s.BytesReceived
+		drops += s.RecvDrops
+	}
+	root := c.metrics.Scope()
+	root.Gauge("cluster_nodes").Set(int64(len(c.Nodes)))
+	root.Gauge("cluster_max_cycles").Set(int64(c.MaxNow()))
+	root.Gauge("cluster_packets_sent").Set(int64(pktsSent))
+	root.Gauge("cluster_bytes_sent").Set(int64(bytesSent))
+	root.Gauge("cluster_packets_recv").Set(int64(pktsRecv))
+	root.Gauge("cluster_bytes_recv").Set(int64(bytesRecv))
+	root.Gauge("cluster_recv_drops").Set(int64(drops))
 }
 
 func (c *Cluster) anyPending() bool {

@@ -1,0 +1,39 @@
+package core
+
+import (
+	"testing"
+
+	"shrimp/internal/addr"
+	"shrimp/internal/telemetry"
+)
+
+// benchmarkFastPath drives the controller's two-instruction initiation
+// plus the engine completion — the hot path every transfer takes — with
+// telemetry either detached (nil instruments, the default) or attached.
+// Comparing the two benchmarks shows what an enabled registry costs;
+// the design target is under 2x.
+func benchmarkFastPath(b *testing.B, withMetrics bool) {
+	r := newRigQuiet(Config{})
+	if withMetrics {
+		scope := telemetry.New().Scope(telemetry.L("node", "0"))
+		r.ctl.SetMetrics(scope)
+		r.eng.SetMetrics(scope)
+	}
+	const count = 64
+	payload := make([]byte, count)
+	if err := r.ram.Write(0x5000, payload); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.ctl.Store(addr.DevProxy(2, 0), count)
+		if st := r.ctl.Load(addr.Proxy(0x5000)); !st.Initiated() {
+			b.Fatalf("initiation failed: %v", st)
+		}
+		r.clock.RunUntilIdle()
+	}
+}
+
+func BenchmarkControllerFastPathNoMetrics(b *testing.B) { benchmarkFastPath(b, false) }
+func BenchmarkControllerFastPathMetrics(b *testing.B)   { benchmarkFastPath(b, true) }

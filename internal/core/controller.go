@@ -8,6 +8,7 @@ import (
 	"shrimp/internal/device"
 	"shrimp/internal/dma"
 	"shrimp/internal/sim"
+	"shrimp/internal/telemetry"
 	"shrimp/internal/trace"
 )
 
@@ -46,6 +47,12 @@ type request struct {
 	count    int
 	base     addr.PAddr // physical proxy address of the initiating LOAD
 	ticket   *SysTicket // non-nil for system-queue submissions
+
+	// Telemetry timestamps (pure observation; never read by the state
+	// machine): when the request was accepted and when the engine
+	// actually started it.
+	enqueuedAt sim.Cycles
+	startedAt  sim.Cycles
 }
 
 // SysTicket tracks one system-queue submission to completion. The
@@ -112,6 +119,46 @@ type Controller struct {
 	failedBits map[addr.PAddr]device.ErrBits
 
 	stats Stats
+	m     ctlMetrics
+}
+
+// ctlMetrics holds the controller's telemetry instruments. Nil
+// instruments are free no-ops, matching the nil-tracer idiom, so the
+// initiation fast path costs one pointer check per record point when
+// metrics are off.
+type ctlMetrics struct {
+	scope       *telemetry.Scope
+	initiations *telemetry.Counter
+	completions *telemetry.Counter
+	failures    *telemetry.Counter
+	queueFull   *telemetry.Counter
+	queueDepth  *telemetry.Gauge
+	latency     *telemetry.Histogram // enqueue (accepted LOAD) → completion
+	queueWait   *telemetry.Histogram // enqueue → engine start
+	bytes       *telemetry.Histogram
+}
+
+// SetMetrics attaches telemetry instruments (nil scope disables them).
+// Recording never advances the clock or changes controller decisions:
+// a run with metrics enabled is cycle-identical to one without.
+func (c *Controller) SetMetrics(s *telemetry.Scope) {
+	c.m = ctlMetrics{
+		scope:       s,
+		initiations: s.Counter("udma_initiations"),
+		completions: s.Counter("udma_completions"),
+		failures:    s.Counter("udma_failures"),
+		queueFull:   s.Counter("udma_queue_full"),
+		queueDepth:  s.Gauge("udma_queue_depth"),
+		latency:     s.Histogram("udma_xfer_latency_cycles"),
+		queueWait:   s.Histogram("udma_queue_wait_cycles"),
+		bytes:       s.Histogram("udma_xfer_bytes"),
+	}
+}
+
+// observeQueueDepth publishes the combined queue length after any
+// enqueue/dequeue transition.
+func (c *Controller) observeQueueDepth() {
+	c.m.queueDepth.Set(int64(len(c.userQ) + len(c.sysQ)))
 }
 
 // Stats counts controller events for the experiments.
@@ -264,15 +311,20 @@ func (c *Controller) Load(pa addr.PAddr) Status {
 			return makeStatus(false, c.busy(), false, false, false, 0, errBitsOf(err))
 		}
 		delete(c.failedBits, req.base)
+		req.enqueuedAt = c.clock.Now()
+		req.startedAt = req.enqueuedAt
+		c.m.queueWait.Observe(0)
 		c.inflight = req
 		c.hasInflight = true
 		c.ref(req)
 	case c.cfg.QueueDepth > 0 && len(c.userQ) < c.cfg.QueueDepth:
 		delete(c.failedBits, req.base)
+		req.enqueuedAt = c.clock.Now()
 		c.userQ = append(c.userQ, req)
 		if len(c.userQ) > c.stats.MaxQueueLen {
 			c.stats.MaxQueueLen = len(c.userQ)
 		}
+		c.observeQueueDepth()
 		c.ref(req)
 	case c.cfg.QueueDepth > 0:
 		// Queue full: refuse, keep DestLoaded so the user can retry
@@ -281,6 +333,7 @@ func (c *Controller) Load(pa addr.PAddr) Status {
 		// bytes), the same figure a status poll computes — not the raw
 		// latched count of the refused request.
 		c.stats.QueueFull++
+		c.m.queueFull.Inc()
 		return makeStatus(false, true, false, c.matchAny(pa), false, c.outstandingBytes(), device.ErrQueueFull)
 	default:
 		// Basic machine busy: the Store half was accepted while idle
@@ -291,6 +344,7 @@ func (c *Controller) Load(pa addr.PAddr) Status {
 	}
 
 	c.stats.Initiations++
+	c.m.initiations.Inc()
 	c.tracer.Record(trace.EvInitiation, uint64(req.src), uint64(req.dst),
 		fmt.Sprintf("%dB", req.count))
 	c.state = Idle // latch consumed; machine-level state is now derived
@@ -410,7 +464,8 @@ func (c *Controller) EnqueueSystem(src, dst addr.PAddr, count int) *SysTicket {
 	if c.cfg.SystemQueueDepth == 0 || len(c.sysQ) >= c.cfg.SystemQueueDepth {
 		return nil
 	}
-	req := request{src: src, dst: dst, count: count, base: 0, ticket: &SysTicket{}}
+	req := request{src: src, dst: dst, count: count, base: 0, ticket: &SysTicket{},
+		enqueuedAt: c.clock.Now()}
 	if !c.engine.Busy() && len(c.sysQ) == 0 {
 		if err := c.engine.Start(src, dst, count); err != nil {
 			// An invalid request would never become startable: fail the
@@ -420,13 +475,18 @@ func (c *Controller) EnqueueSystem(src, dst addr.PAddr, count int) *SysTicket {
 			return req.ticket
 		}
 		c.stats.Initiations++
+		c.m.initiations.Inc()
+		c.m.queueWait.Observe(0)
+		req.startedAt = req.enqueuedAt
 		c.inflight = req
 		c.hasInflight = true
 		c.ref(req)
 		return req.ticket
 	}
 	c.stats.Initiations++
+	c.m.initiations.Inc()
 	c.sysQ = append(c.sysQ, req)
+	c.observeQueueDepth()
 	c.ref(req)
 	return req.ticket
 }
@@ -443,6 +503,7 @@ func (c *Controller) SystemQueueAvailable() bool {
 // ticket — but still frees the engine for the next request.
 func (c *Controller) onEngineDone(err error) {
 	c.stats.Completions++
+	c.m.completions.Inc()
 	if c.hasInflight {
 		if err != nil {
 			c.failTransfer(c.inflight, err)
@@ -452,6 +513,11 @@ func (c *Controller) onEngineDone(err error) {
 				t.Done = true
 			}
 		}
+		now := c.clock.Now()
+		c.m.latency.Observe(uint64(now - c.inflight.enqueuedAt))
+		c.m.bytes.Observe(uint64(c.inflight.count))
+		c.m.scope.Span("udma", "xfer", c.inflight.enqueuedAt, now,
+			uint64(c.inflight.count), "")
 		c.unref(c.inflight)
 		c.hasInflight = false
 	}
@@ -476,12 +542,15 @@ func (c *Controller) startNext() {
 		default:
 			return
 		}
+		c.observeQueueDepth()
 		if startErr := c.engine.Start(next.src, next.dst, next.count); startErr != nil {
 			c.stats.DequeueRejects++
 			c.failTransfer(next, startErr)
 			c.unref(next)
 			continue
 		}
+		next.startedAt = c.clock.Now()
+		c.m.queueWait.Observe(uint64(next.startedAt - next.enqueuedAt))
 		c.inflight = next
 		c.hasInflight = true
 		return
@@ -493,6 +562,7 @@ func (c *Controller) startNext() {
 // kernel's ticket.
 func (c *Controller) failTransfer(r request, err error) {
 	c.stats.Failures++
+	c.m.failures.Inc()
 	c.tracer.Record(trace.EvTransferFail, uint64(r.src), uint64(r.dst), err.Error())
 	if r.base != 0 {
 		c.failedBits[r.base] = errBitsOf(err)
@@ -548,6 +618,7 @@ func (c *Controller) Terminate() int {
 		n++
 	}
 	c.sysQ = c.sysQ[:0]
+	c.observeQueueDepth()
 	c.state = Idle
 	c.stats.Terminations++
 	c.tracer.Record(trace.EvTerminate, uint64(n), 0, "")

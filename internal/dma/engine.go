@@ -18,6 +18,7 @@ import (
 	"shrimp/internal/device"
 	"shrimp/internal/mem"
 	"shrimp/internal/sim"
+	"shrimp/internal/telemetry"
 )
 
 // FaultKind classifies why a transfer failed. The kind distinguishes
@@ -138,6 +139,29 @@ type Engine struct {
 	bytes       uint64
 	failures    uint64
 	failedBytes uint64
+
+	m engineMetrics
+}
+
+// engineMetrics holds the engine's telemetry instruments (all nil
+// no-ops until SetMetrics attaches a live scope).
+type engineMetrics struct {
+	scope     *telemetry.Scope
+	transfers *telemetry.Counter
+	failures  *telemetry.Counter
+	bytes     *telemetry.Histogram
+	cycles    *telemetry.Histogram
+}
+
+// SetMetrics attaches telemetry instruments (nil scope disables them).
+func (e *Engine) SetMetrics(s *telemetry.Scope) {
+	e.m = engineMetrics{
+		scope:     s,
+		transfers: s.Counter("dma_transfers"),
+		failures:  s.Counter("dma_failures"),
+		bytes:     s.Histogram("dma_transfer_bytes"),
+		cycles:    s.Histogram("dma_transfer_cycles"),
+	}
 }
 
 // New wires an engine to its node's clock, bus, RAM and device map.
@@ -288,12 +312,18 @@ func (e *Engine) complete(dev device.Device, da device.DevAddr, dir Direction, m
 	if err == nil {
 		e.transfers++
 		e.bytes += uint64(count)
+		e.m.transfers.Inc()
 	} else {
 		e.failures++
 		e.failedBytes += uint64(count)
+		e.m.failures.Inc()
 		err = &TransferError{Kind: kind, Stage: "complete", Src: e.src, Dst: e.dst,
 			Count: count, Err: err}
 	}
+	e.m.bytes.Observe(uint64(count))
+	now := e.clock.Now()
+	e.m.cycles.Observe(uint64(now - e.startAt))
+	e.m.scope.Span("dma", dir.String(), e.startAt, now, uint64(count), "")
 	for _, fn := range e.onComplete {
 		fn(err)
 	}

@@ -9,6 +9,7 @@ import (
 	"shrimp/internal/machine"
 	"shrimp/internal/sim"
 	"shrimp/internal/stats"
+	"shrimp/internal/telemetry"
 	"shrimp/internal/udmalib"
 	"shrimp/internal/workload"
 )
@@ -31,7 +32,8 @@ func RunContextSwitch() (*Result, error) {
 	// 2000-cycle quanta, so competing initiations really do find the
 	// engine busy and exercise the retry protocol.
 	tbl := stats.NewTable("N senders sharing one UDMA device (64 messages of 4 KB each)",
-		"senders", "total µs", "retries", "invals", "ctx switches", "µs/message")
+		"senders", "total µs", "retries", "invals", "ctx switches", "µs/message",
+		"xfer p50 µs", "xfer p99 µs")
 	series := &stats.Series{Name: "aggregate time vs senders", XLabel: "senders", YLabel: "µs"}
 
 	var rows []contentionRow
@@ -44,7 +46,8 @@ func RunContextSwitch() (*Result, error) {
 		series.Add(float64(senders), r.us)
 		tbl.AddRow(fmt.Sprintf("%d", r.n), fmt.Sprintf("%.0f", r.us),
 			fmt.Sprintf("%d", r.retries), fmt.Sprintf("%d", r.invals),
-			fmt.Sprintf("%d", r.switches), fmt.Sprintf("%.1f", r.perMsg))
+			fmt.Sprintf("%d", r.switches), fmt.Sprintf("%.1f", r.perMsg),
+			fmt.Sprintf("%.1f", r.p50us), fmt.Sprintf("%.1f", r.p99us))
 	}
 	res.Tables = append(res.Tables, tbl)
 	res.Series = append(res.Series, series)
@@ -59,6 +62,13 @@ func RunContextSwitch() (*Result, error) {
 		rows[3].perMsg < rows[0].perMsg*16,
 		"%.1f µs/msg at 8 senders vs %.1f at 1 (device is serialized, CPU is shared)",
 		rows[3].perMsg, rows[0].perMsg)
+	res.check("transfer latency histogram populated", rows[0].p50us > 0 && rows[3].p99us > 0,
+		"p50 %.1f µs at 1 sender, p99 %.1f µs at 8", rows[0].p50us, rows[3].p99us)
+	res.metric("per_msg_us_1_sender", rows[0].perMsg)
+	res.metric("per_msg_us_8_senders", rows[3].perMsg)
+	res.metric("xfer_p50_us_1_sender", rows[0].p50us)
+	res.metric("xfer_p99_us_8_senders", rows[3].p99us)
+	res.metric("retries_8_senders", float64(rows[3].retries))
 	return res, nil
 
 }
@@ -70,6 +80,8 @@ type contentionRow struct {
 	invals   uint64
 	switches uint64
 	perMsg   float64
+	p50us    float64 // enqueue→completion transfer latency percentiles
+	p99us    float64
 }
 
 func allInvalsMatch(rows []contentionRow) bool {
@@ -85,9 +97,13 @@ func contentionRun(senders, messages, size int) (contentionRow, error) {
 	var out contentionRow
 	out.n = senders
 
+	// Telemetry is a pure observer, so attaching a registry here cannot
+	// perturb the timing the experiment measures.
+	reg := telemetry.New()
 	n := machine.New(0, machine.Config{
 		RAMFrames: 64 + senders*2,
 		Kernel:    kernel.Config{Quantum: 2000},
+		Metrics:   reg,
 	})
 	buf := device.NewBuffer("buf", uint32(senders+1), 4, 0)
 	n.AttachDevice(buf, 0)
@@ -146,5 +162,8 @@ func contentionRun(senders, messages, size int) (contentionRow, error) {
 	out.invals = ks.Invals
 	out.switches = ks.ContextSwitches
 	out.perMsg = out.us / float64(senders*messages)
+	lat := reg.Histogram("udma_xfer_latency_cycles", telemetry.L("node", "0"))
+	out.p50us = n.Costs.Micros(sim.Cycles(lat.Quantile(0.5)))
+	out.p99us = n.Costs.Micros(sim.Cycles(lat.Quantile(0.99)))
 	return out, nil
 }

@@ -31,10 +31,22 @@ type Result struct {
 	Series []*stats.Series
 	Checks []Check
 	Notes  []string
+	// Metrics holds machine-readable headline numbers (bandwidth,
+	// latency percentiles, delivery counts) keyed by a short name —
+	// what `udmabench -json` emits for regression tracking.
+	Metrics map[string]float64
 }
 
 func (r *Result) check(name string, pass bool, format string, args ...any) {
 	r.Checks = append(r.Checks, Check{Name: name, Pass: pass, Detail: fmt.Sprintf(format, args...)})
+}
+
+// metric records one headline number under a short machine-readable key.
+func (r *Result) metric(name string, v float64) {
+	if r.Metrics == nil {
+		r.Metrics = make(map[string]float64)
+	}
+	r.Metrics[name] = v
 }
 
 // Passed reports whether every check passed.

@@ -217,6 +217,10 @@ func RunFaultInjectionSeeded(seed uint64) (*Result, error) {
 	}
 	fp1, fp2 := faultFingerprint(worst), faultFingerprint(again)
 	res.check("same seed reproduces the run exactly", fp1 == fp2, "%s vs %s", fp1, fp2)
+	res.metric("clean_goodput_mbps", zero.goodput())
+	res.metric("worst_rate_goodput_mbps", worst.goodput())
+	res.metric("worst_rate_delivered", float64(worst.Delivered))
+	res.metric("worst_rate_recovered", float64(worst.Recovered))
 	res.Notes = append(res.Notes,
 		fmt.Sprintf("seed %#x; retry policy: %d attempts, backoff 256 cycles doubling", seed, udmalib.DefaultRetryPolicy().MaxAttempts))
 	return res, nil

@@ -100,6 +100,10 @@ func RunFig8() (*Result, error) {
 		fmt.Sprintf("peak measured bandwidth %.1f MB/s; per-initiation cost %.1f µs (see e2)",
 			peak, 2.8),
 		"receive side is pure hardware (deliberate update): sender-limited, as on SHRIMP")
+	res.metric("peak_mbps", peak)
+	res.metric("pct_of_peak_at_512B", at(512))
+	res.metric("pct_of_peak_at_4KB", at(4096))
+	res.metric("queued_mbps_at_4.5KB", qDip)
 	_ = costs
 	return res, nil
 }

@@ -100,6 +100,8 @@ func RunInitiationCost() (*Result, error) {
 		"measured %.2f µs", withTLB)
 	res.check("TLB ablation costs more", noTLB > withTLB,
 		"%.2f µs without TLB vs %.2f µs with", noTLB, withTLB)
+	res.metric("initiation_us", withTLB)
+	res.metric("initiation_us_no_tlb", noTLB)
 	return res, nil
 }
 

@@ -36,6 +36,7 @@ import (
 	"shrimp/internal/mem"
 	"shrimp/internal/mmu"
 	"shrimp/internal/sim"
+	"shrimp/internal/telemetry"
 	"shrimp/internal/trace"
 )
 
@@ -116,6 +117,36 @@ type Kernel struct {
 	runLimit sim.Cycles
 
 	tracer *trace.Tracer // nil = tracing off
+	m      kernMetrics
+}
+
+// kernMetrics holds the kernel's telemetry instruments (nil no-ops
+// until SetMetrics attaches a live scope).
+type kernMetrics struct {
+	ctxSwitches   *telemetry.Counter
+	invals        *telemetry.Counter
+	pageFaults    *telemetry.Counter
+	proxyFaults   *telemetry.Counter
+	pins          *telemetry.Counter
+	unpins        *telemetry.Counter
+	evictions     *telemetry.Counter
+	pageIns       *telemetry.Counter
+	machineChecks *telemetry.Counter
+}
+
+// SetMetrics attaches telemetry instruments (nil scope disables them).
+func (k *Kernel) SetMetrics(s *telemetry.Scope) {
+	k.m = kernMetrics{
+		ctxSwitches:   s.Counter("kernel_context_switches"),
+		invals:        s.Counter("kernel_invals"),
+		pageFaults:    s.Counter("kernel_page_faults"),
+		proxyFaults:   s.Counter("kernel_proxy_faults"),
+		pins:          s.Counter("kernel_pins"),
+		unpins:        s.Counter("kernel_unpins"),
+		evictions:     s.Counter("kernel_evictions"),
+		pageIns:       s.Counter("kernel_page_ins"),
+		machineChecks: s.Counter("kernel_machine_checks"),
+	}
 }
 
 type frameInfo struct {
@@ -192,6 +223,7 @@ func New(clock *sim.Clock, costs *sim.CostModel, ram *mem.Physical, swap *mem.Ba
 // sleeping forever. It returns how many transfers were discarded.
 func (k *Kernel) MachineCheck(reason error) int {
 	k.stats.MachineChecks++
+	k.m.machineChecks.Inc()
 	msg := ""
 	if reason != nil {
 		msg = reason.Error()
@@ -366,6 +398,7 @@ func (k *Kernel) switchTo(p *Proc) {
 		return
 	}
 	k.stats.ContextSwitches++
+	k.m.ctxSwitches.Inc()
 	k.tracer.Record(trace.EvContextSwitch, uint64(p.pid), 0, p.name)
 	k.clock.Advance(k.costs.ContextSwitch)
 	if k.current != nil {
@@ -379,6 +412,7 @@ func (k *Kernel) switchTo(p *Proc) {
 		// single STORE instruction."
 		k.udma.Inval()
 		k.stats.Invals++
+		k.m.invals.Inc()
 	}
 	k.current = p
 	p.quantum = k.cfg.Quantum

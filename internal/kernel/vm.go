@@ -97,6 +97,7 @@ func (k *Kernel) releaseFrame(pfn uint32) {
 func (k *Kernel) pinFrame(pfn uint32) {
 	k.frames[pfn].pinned++
 	k.stats.Pins++
+	k.m.pins.Inc()
 	k.clock.Advance(k.costs.PinPage)
 }
 
@@ -106,6 +107,7 @@ func (k *Kernel) unpinFrame(pfn uint32) {
 	}
 	k.frames[pfn].pinned--
 	k.stats.Unpins++
+	k.m.unpins.Inc()
 	k.clock.Advance(k.costs.UnpinPage)
 }
 
@@ -187,6 +189,7 @@ func (k *Kernel) engineRegisterNames(pfn uint32) bool {
 // I2 by invalidating the proxy PTE whenever the real mapping changes.
 func (k *Kernel) evictFrame(pfn uint32, owner *Proc, vpn uint32, pte *mmu.PTE) error {
 	k.stats.Evictions++
+	k.m.evictions.Inc()
 	k.tracer.Record(trace.EvEviction, uint64(pfn), uint64(vpn), owner.name)
 
 	if pte.Dirty || pte.SwapSlot == 0 {
@@ -240,6 +243,7 @@ func (k *Kernel) pageIn(p *Proc, vpn uint32, pte *mmu.PTE) error {
 	}
 	k.clock.Advance(k.costs.PageInLatency)
 	k.stats.PageIns++
+	k.m.pageIns.Inc()
 	k.tracer.Record(trace.EvPageIn, uint64(pfn), uint64(vpn), p.name)
 	pte.Present = true
 	pte.Dirty = false
@@ -255,6 +259,7 @@ func (k *Kernel) pageIn(p *Proc, vpn uint32, pte *mmu.PTE) error {
 // should be retried.
 func (k *Kernel) handleFault(p *Proc, f *mmu.Fault) error {
 	k.stats.PageFaults++
+	k.m.pageFaults.Inc()
 	kind := trace.EvPageFault
 	if addr.VRegionOf(f.VA).IsProxy() {
 		kind = trace.EvProxyFault
@@ -296,6 +301,7 @@ func (k *Kernel) handleMemFault(p *Proc, f *mmu.Fault) error {
 // I3 write-upgrade protocol ("Maintaining I3").
 func (k *Kernel) handleMemProxyFault(p *Proc, f *mmu.Fault) error {
 	k.stats.ProxyFaults++
+	k.m.proxyFaults.Inc()
 	proxyVPN := addr.VPN(f.VA)
 	realVPN := addr.VPN(addr.VUnproxy(f.VA))
 	realPTE := p.as.Lookup(realVPN)
@@ -371,6 +377,7 @@ func (k *Kernel) handleDevProxyFault(p *Proc, f *mmu.Fault) error {
 		return p.segfault(f.VA, f.Access, f.Kind)
 	}
 	k.stats.ProxyFaults++
+	k.m.proxyFaults.Inc()
 	vpn := addr.VPN(f.VA)
 	// The simulated machine identity-maps device proxy space: virtual
 	// device-proxy page N corresponds to physical device-proxy page N.

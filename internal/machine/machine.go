@@ -6,6 +6,7 @@ package machine
 
 import (
 	"fmt"
+	"strconv"
 
 	"shrimp/internal/bus"
 	"shrimp/internal/core"
@@ -15,6 +16,7 @@ import (
 	"shrimp/internal/mem"
 	"shrimp/internal/mmu"
 	"shrimp/internal/sim"
+	"shrimp/internal/telemetry"
 )
 
 // SHRIMP1996 returns the cost model calibrated against the paper's
@@ -86,6 +88,11 @@ type Config struct {
 	Kernel kernel.Config
 	// Clock shares an external clock (cluster builds); nil creates one.
 	Clock *sim.Clock
+	// Metrics attaches a telemetry registry; every hardware layer of
+	// the node records into it under a node=<id> label. Nil (the
+	// default) leaves all instruments as free no-ops. Telemetry is a
+	// pure observer: enabling it never changes simulated time.
+	Metrics *telemetry.Registry
 }
 
 // Node is one assembled machine.
@@ -102,6 +109,9 @@ type Node struct {
 	UDMA   *core.Controller // nil when cfg.NoUDMA
 	DevMap *device.Map
 	Kernel *kernel.Kernel
+	// Metrics is the node's telemetry scope (node=<id>); nil when the
+	// config carried no registry.
+	Metrics *telemetry.Scope
 }
 
 // New assembles a node. Devices are attached afterward with
@@ -144,6 +154,16 @@ func New(id int, cfg Config) *Node {
 	}
 	n.Kernel = kernel.New(clock, costs, n.RAM, n.Swap, n.MMU, n.Bus,
 		n.Engine, n.UDMA, n.DevMap, cfg.Kernel)
+	if cfg.Metrics != nil {
+		scope := cfg.Metrics.Scope(telemetry.L("node", strconv.Itoa(id)))
+		n.Metrics = scope
+		n.Bus.SetMetrics(scope)
+		n.Engine.SetMetrics(scope)
+		if n.UDMA != nil {
+			n.UDMA.SetMetrics(scope)
+		}
+		n.Kernel.SetMetrics(scope)
+	}
 	return n
 }
 

@@ -16,6 +16,7 @@ import (
 	"shrimp/internal/interconnect"
 	"shrimp/internal/mem"
 	"shrimp/internal/sim"
+	"shrimp/internal/telemetry"
 	"shrimp/internal/trace"
 )
 
@@ -70,6 +71,20 @@ type Interface struct {
 	tracer *trace.Tracer // nil = tracing off
 
 	stats Stats
+	m     nicMetrics
+}
+
+// nicMetrics holds the board's telemetry instruments, resolved once at
+// attach time. All nil (free no-ops) until SetMetrics is called.
+type nicMetrics struct {
+	scope       *telemetry.Scope
+	pktsSent    *telemetry.Counter
+	bytesSent   *telemetry.Counter
+	pktsRecv    *telemetry.Counter
+	bytesRecv   *telemetry.Counter
+	niptLookups *telemetry.Counter
+	recvDrops   *telemetry.Counter
+	pktBytes    *telemetry.Histogram
 }
 
 // pioState is the memory-mapped FIFO mode's register file.
@@ -126,6 +141,21 @@ func New(nodeID int, clock *sim.Clock, costs *sim.CostModel, ram *mem.Physical,
 
 // SetTracer attaches an event tracer (nil disables tracing).
 func (n *Interface) SetTracer(t *trace.Tracer) { n.tracer = t }
+
+// SetMetrics attaches telemetry instruments (nil scope disables them).
+// Recording is a pure observation: it never advances the clock.
+func (n *Interface) SetMetrics(s *telemetry.Scope) {
+	n.m = nicMetrics{
+		scope:       s,
+		pktsSent:    s.Counter("nic_packets_sent"),
+		bytesSent:   s.Counter("nic_bytes_sent"),
+		pktsRecv:    s.Counter("nic_packets_recv"),
+		bytesRecv:   s.Counter("nic_bytes_recv"),
+		niptLookups: s.Counter("nic_nipt_lookups"),
+		recvDrops:   s.Counter("nic_recv_drops"),
+		pktBytes:    s.Histogram("nic_packet_bytes"),
+	}
+}
 
 // SetNIPT installs an entry. Index range is checked; the kernel owns
 // the policy of which process may install what.
@@ -185,6 +215,7 @@ func (n *Interface) CheckTransfer(da device.DevAddr, nbytes int, toDevice bool) 
 // TransferLatency implements device.Device: NIPT lookup + header
 // assembly + FIFO/launch overhead per packet.
 func (n *Interface) TransferLatency(device.DevAddr, int) sim.Cycles {
+	n.m.niptLookups.Inc()
 	return n.costs.NIPTLookup + n.costs.PacketHeader + n.costs.PacketPerPage
 }
 
@@ -217,6 +248,9 @@ func (n *Interface) launch(e NIPTEntry, off uint32, data []byte) error {
 	})
 	n.stats.PacketsSent++
 	n.stats.BytesSent += uint64(len(data))
+	n.m.pktsSent.Inc()
+	n.m.bytesSent.Add(uint64(len(data)))
+	n.m.pktBytes.Observe(uint64(len(data)))
 	n.tracer.Record(trace.EvPacketSend, uint64(e.DestNode), uint64(len(data)), "")
 	return nil
 }
@@ -239,19 +273,25 @@ func (n *Interface) DeliverPacket(pkt *interconnect.Packet) {
 		// have; drop and count (a real board would raise an error
 		// interrupt).
 		n.stats.RecvDrops++
+		n.m.recvDrops.Inc()
 		return
 	}
-	_, end := n.iobus.ReserveBurst(n.clock.Now()+n.costs.RecvDMAStartup, len(pkt.Payload))
+	arrive := n.clock.Now()
+	_, end := n.iobus.ReserveBurst(arrive+n.costs.RecvDMAStartup, len(pkt.Payload))
 	dest := pkt.DestAddr
 	payload := pkt.Payload
 	n.clock.Schedule(end, "recv-dma-complete", func() {
 		if err := n.ram.Write(dest, payload); err != nil {
 			n.stats.RecvDrops++
+			n.m.recvDrops.Inc()
 			return
 		}
 		n.stats.PacketsReceived++
 		n.stats.BytesReceived += uint64(len(payload))
 		n.stats.LastRecvAt = n.clock.Now()
+		n.m.pktsRecv.Inc()
+		n.m.bytesRecv.Add(uint64(len(payload)))
+		n.m.scope.Span("nic", "recv-dma", arrive, n.clock.Now(), uint64(len(payload)), "")
 		n.tracer.Record(trace.EvPacketRecv, uint64(pkt.Src), uint64(len(payload)), "")
 	})
 }

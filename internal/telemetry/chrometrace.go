@@ -1,0 +1,153 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"shrimp/internal/sim"
+	"shrimp/internal/trace"
+)
+
+// TraceSource names one trace.Tracer to bridge into the exported trace
+// (typically one per node). Name becomes the Perfetto process name.
+type TraceSource struct {
+	Name   string
+	Tracer *trace.Tracer
+}
+
+// chromeEvent is one Chrome trace_event record. Field order matters
+// only for readability; Perfetto and chrome://tracing key off name/ph/
+// ts/pid/tid. Timestamps are microseconds of simulated time.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace exports the registry's spans and the given tracers'
+// buffered events as a Chrome trace_event JSON array — the format
+// ui.perfetto.dev and chrome://tracing load directly. Each tracer
+// source becomes a process with one "events" thread of instant events;
+// each distinct span (Proc, Track) pair becomes a process/thread with
+// complete events carrying durations. Cycles convert to microseconds
+// through the cost model, so the timeline reads in simulated wall time.
+//
+// Both the registry and the sources are optional: a nil registry
+// exports only tracer events, and vice versa.
+func WriteChromeTrace(w io.Writer, costs *sim.CostModel, reg *Registry, sources ...TraceSource) error {
+	if costs == nil {
+		return fmt.Errorf("telemetry: WriteChromeTrace requires a cost model")
+	}
+	us := func(c sim.Cycles) float64 { return costs.Micros(c) }
+
+	var events []chromeEvent
+	nextPid := 0
+	meta := func(pid int, name string) {
+		events = append(events, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	threadMeta := func(pid, tid int, name string) {
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+
+	for _, src := range sources {
+		if src.Tracer == nil {
+			continue
+		}
+		pid := nextPid
+		nextPid++
+		name := src.Name
+		if name == "" {
+			name = fmt.Sprintf("tracer%d", pid)
+		}
+		meta(pid, name)
+		threadMeta(pid, 0, "events")
+		for _, e := range src.Tracer.Events() {
+			args := map[string]any{"a": e.A, "b": e.B}
+			if e.Note != "" {
+				args["note"] = e.Note
+			}
+			events = append(events, chromeEvent{
+				Name: e.Kind.String(), Ph: "i", S: "t",
+				Ts: us(e.At), Pid: pid, Tid: 0, Args: args,
+			})
+		}
+	}
+
+	// Group spans by process, then assign tids per track. Processes and
+	// tracks are sorted so the export is deterministic.
+	spans := reg.Spans()
+	procs := map[string]map[string]bool{}
+	for _, s := range spans {
+		proc := s.Proc
+		if proc == "" {
+			proc = "sim"
+		}
+		if procs[proc] == nil {
+			procs[proc] = map[string]bool{}
+		}
+		procs[proc][s.Track] = true
+	}
+	procNames := make([]string, 0, len(procs))
+	for p := range procs {
+		procNames = append(procNames, p)
+	}
+	sort.Strings(procNames)
+	pidOf := map[string]int{}
+	tidOf := map[string]map[string]int{}
+	for _, p := range procNames {
+		pid := nextPid
+		nextPid++
+		pidOf[p] = pid
+		meta(pid, p)
+		tracks := make([]string, 0, len(procs[p]))
+		for t := range procs[p] {
+			tracks = append(tracks, t)
+		}
+		sort.Strings(tracks)
+		tidOf[p] = map[string]int{}
+		for i, t := range tracks {
+			tidOf[p][t] = i
+			threadMeta(pid, i, t)
+		}
+	}
+	for _, s := range spans {
+		proc := s.Proc
+		if proc == "" {
+			proc = "sim"
+		}
+		dur := us(s.End) - us(s.Start)
+		if dur < 0 {
+			dur = 0
+		}
+		args := map[string]any{}
+		if s.Value != 0 {
+			args["value"] = s.Value
+		}
+		if s.Detail != "" {
+			args["detail"] = s.Detail
+		}
+		if len(args) == 0 {
+			args = nil
+		}
+		events = append(events, chromeEvent{
+			Name: s.Name, Ph: "X", Ts: us(s.Start), Dur: &dur,
+			Pid: pidOf[proc], Tid: tidOf[proc][s.Track], Args: args,
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}

@@ -1,0 +1,102 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"shrimp/internal/sim"
+	"shrimp/internal/trace"
+)
+
+// testCosts is a 60 MHz model (16.7 ns/cycle) matching SHRIMP1996's
+// clock, without importing machine (which imports this package).
+func testCosts() *sim.CostModel { return &sim.CostModel{CPUHz: 60e6} }
+
+// TestChromeTraceShape validates the exporter against the acceptance
+// contract: the output is a JSON array of objects carrying ts/ph/name,
+// with tracer events as instants and registry spans as complete events
+// whose durations are in simulated microseconds.
+func TestChromeTraceShape(t *testing.T) {
+	costs := testCosts()
+	clock := sim.NewClock()
+	tr := trace.New(clock, 64)
+	tr.Record(trace.EvStore, 0x1000, 64, "")
+	clock.Advance(120)
+	tr.Record(trace.EvInitiation, 0x1000, 0x2000, "64B")
+
+	r := New()
+	s := r.Scope(L("node", "0"))
+	s.Span("udma", "xfer", 0, 600, 4096, "")
+	s.Span("dma", "burst", 100, 400, 4096, "")
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, costs, r, TraceSource{Name: "node0", Tracer: tr}); err != nil {
+		t.Fatal(err)
+	}
+
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("not a JSON array: %v\n%s", err, buf.String())
+	}
+	if len(events) == 0 {
+		t.Fatal("no events exported")
+	}
+	var instants, completes, metas int
+	for _, e := range events {
+		name, ok := e["name"].(string)
+		if !ok || name == "" {
+			t.Fatalf("event missing name: %v", e)
+		}
+		ph, ok := e["ph"].(string)
+		if !ok {
+			t.Fatalf("event missing ph: %v", e)
+		}
+		if _, ok := e["ts"]; !ok && ph != "M" {
+			t.Fatalf("non-metadata event missing ts: %v", e)
+		}
+		switch ph {
+		case "i":
+			instants++
+		case "X":
+			completes++
+			dur, ok := e["dur"].(float64)
+			if !ok || dur <= 0 {
+				t.Fatalf("complete event without positive dur: %v", e)
+			}
+		case "M":
+			metas++
+		}
+	}
+	if instants != 2 || completes != 2 || metas == 0 {
+		t.Fatalf("instants=%d completes=%d metas=%d", instants, completes, metas)
+	}
+
+	// 600 cycles at 60 MHz = 10 µs for the udma span.
+	for _, e := range events {
+		if e["name"] == "xfer" {
+			if dur := e["dur"].(float64); dur < 9.9 || dur > 10.1 {
+				t.Fatalf("xfer dur = %g µs, want ≈10", dur)
+			}
+		}
+	}
+}
+
+// TestChromeTraceEmptyInputs: nil registry, nil tracers — still a valid
+// (possibly empty) JSON array.
+func TestChromeTraceEmptyInputs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, testCosts(), nil, TraceSource{Name: "x", Tracer: nil}); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(events) != 0 {
+		t.Fatalf("expected empty array, got %d events", len(events))
+	}
+	if err := WriteChromeTrace(&buf, nil, nil); err == nil {
+		t.Fatal("nil cost model accepted")
+	}
+}

@@ -1,0 +1,127 @@
+package telemetry
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Histogram accumulates non-negative integer samples (cycles, bytes)
+// into logarithmic power-of-two buckets: bucket i holds samples whose
+// bit length is i, i.e. values in [2^(i-1), 2^i). 65 buckets cover the
+// full uint64 range, so observation is O(1) with no allocation and no
+// configuration — the property that lets it sit on the controller fast
+// path. Quantiles are read back by walking the buckets and
+// interpolating linearly within the winning bucket; exact min and max
+// are tracked alongside so the tails are never extrapolated past
+// observed reality.
+//
+// The nil Histogram is a valid "metrics off" value: Observe on nil is
+// a no-op, readouts return zero.
+type Histogram struct {
+	buckets [65]uint64
+	count   uint64
+	sum     uint64
+	min     uint64
+	max     uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.buckets[bits.Len64(v)]++
+	h.count++
+	h.sum += v
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count
+}
+
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Min returns the smallest observed sample (0 when empty).
+func (h *Histogram) Min() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest observed sample (0 when empty).
+func (h *Histogram) Max() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.max
+}
+
+// Mean returns the arithmetic mean (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Quantile returns an estimate of the q-th quantile (q in [0,1]):
+// the bucket containing the rank is located, then the value is
+// interpolated linearly across the bucket's range, clamped to the
+// observed min/max so p0 and p100 are exact.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return float64(h.min)
+	}
+	if q >= 1 {
+		return float64(h.max)
+	}
+	rank := q * float64(h.count)
+	var cum float64
+	for i, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		next := cum + float64(n)
+		if rank <= next {
+			lo, hi := bucketBounds(i)
+			frac := (rank - cum) / float64(n)
+			v := lo + frac*(hi-lo)
+			return math.Max(float64(h.min), math.Min(float64(h.max), v))
+		}
+		cum = next
+	}
+	return float64(h.max)
+}
+
+// bucketBounds returns the value range [lo, hi] covered by bucket i.
+func bucketBounds(i int) (lo, hi float64) {
+	if i == 0 {
+		return 0, 0
+	}
+	if i == 1 {
+		return 1, 1
+	}
+	lo = math.Ldexp(1, i-1)   // 2^(i-1)
+	hi = math.Ldexp(1, i) - 1 // 2^i - 1
+	return lo, hi
+}

@@ -1,0 +1,338 @@
+// Package telemetry is the simulator's observability layer: a metrics
+// registry of counters, gauges and log-bucketed latency histograms,
+// plus span-style timers, all keyed by name and small label sets.
+//
+// Two properties are load-bearing and guarded by tests:
+//
+//   - Pure observer. Recording reads the simulated clock but never
+//     advances it, schedules no events, and consumes no randomness, so
+//     a run with telemetry enabled is byte-identical to the same run
+//     with it disabled (see internal/cluster's determinism-under-
+//     observation test). A metric that perturbed timing would invalidate
+//     every number it reported.
+//
+//   - Free when disabled. Like trace.Tracer, every instrument is
+//     nil-safe: components hold possibly-nil *Counter/*Gauge/*Histogram
+//     pointers resolved once at attach time, and a nil receiver is a
+//     no-op. The hot paths pay one nil check per record point.
+//
+// Instruments are identified by a name plus an ordered label set
+// ("udma_xfer_latency_cycles{node=0}"). Cycle-valued histograms use the
+// _cycles suffix by convention; exporters convert to microseconds with
+// the machine's cost model.
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"shrimp/internal/sim"
+)
+
+// Label is one key=value dimension of an instrument.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing count. The nil Counter is a
+// valid "metrics off" value: Add and Inc on nil are no-ops.
+type Counter struct {
+	v uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v++
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v += n
+	}
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is a point-in-time level (queue depth, bytes outstanding) that
+// also tracks its high-water mark. Nil-safe like Counter.
+type Gauge struct {
+	v   int64
+	max int64
+}
+
+// Set replaces the level.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v = v
+	if v > g.max {
+		g.max = v
+	}
+}
+
+// Add moves the level by delta.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.Set(g.v + delta)
+}
+
+// Value returns the current level (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Max returns the high-water mark (0 on nil).
+func (g *Gauge) Max() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.max
+}
+
+// Registry holds every instrument and the span ring. The zero value is
+// unusable; call New. A nil *Registry is a valid "metrics off" value:
+// every method on nil returns nil instruments or empty results.
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+
+	spans      []Span
+	spanNext   int
+	spanFull   bool
+	spansTotal uint64
+}
+
+// DefaultSpanCapacity bounds the span ring: newest spans are kept,
+// SpansTotal keeps the lifetime count (same windowed-vs-lifetime
+// contract as trace.Tracer).
+const DefaultSpanCapacity = 32768
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		spans:    make([]Span, DefaultSpanCapacity),
+	}
+}
+
+// key renders the canonical instrument identity: name{k=v,k=v} with
+// labels in the order given (scopes sort once at construction).
+func key(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var sb strings.Builder
+	sb.WriteString(name)
+	sb.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.Key)
+		sb.WriteByte('=')
+		sb.WriteString(l.Value)
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// Counter returns (creating if needed) the counter with the given name
+// and labels. Nil registry returns nil — a valid no-op instrument.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	k := key(name, labels)
+	c, ok := r.counters[k]
+	if !ok {
+		c = &Counter{}
+		r.counters[k] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the gauge with the given identity.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	k := key(name, labels)
+	g, ok := r.gauges[k]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[k] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the histogram with the given
+// identity.
+func (r *Registry) Histogram(name string, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	k := key(name, labels)
+	h, ok := r.hists[k]
+	if !ok {
+		h = &Histogram{}
+		r.hists[k] = h
+	}
+	return h
+}
+
+// Span is one timed interval on a named track, exported to Perfetto as
+// a complete ("X") event. Proc groups tracks into processes (one per
+// node); Value/Detail carry span-specific payload (byte counts, error
+// text).
+type Span struct {
+	Proc   string // process grouping, e.g. "node0" ("" = simulator)
+	Track  string // thread-like track within the process, e.g. "udma"
+	Name   string // event name, e.g. "xfer"
+	Start  sim.Cycles
+	End    sim.Cycles
+	Value  uint64
+	Detail string
+}
+
+// RecordSpan appends a span to the ring. Nil-safe.
+func (r *Registry) RecordSpan(s Span) {
+	if r == nil {
+		return
+	}
+	r.spans[r.spanNext] = s
+	r.spanNext++
+	r.spansTotal++
+	if r.spanNext == len(r.spans) {
+		r.spanNext = 0
+		r.spanFull = true
+	}
+}
+
+// Spans returns the buffered spans, oldest first (the windowed view;
+// SpansTotal counts every span ever recorded).
+func (r *Registry) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	if !r.spanFull {
+		out := make([]Span, r.spanNext)
+		copy(out, r.spans[:r.spanNext])
+		return out
+	}
+	out := make([]Span, 0, len(r.spans))
+	out = append(out, r.spans[r.spanNext:]...)
+	out = append(out, r.spans[:r.spanNext]...)
+	return out
+}
+
+// SpansTotal returns how many spans were recorded, including ones the
+// ring has overwritten.
+func (r *Registry) SpansTotal() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.spansTotal
+}
+
+// Scope is a registry handle with a pre-bound label set (typically
+// node=N). Components resolve their instruments once through a scope at
+// attach time; a nil *Scope resolves every instrument to nil, so the
+// same code path is free when metrics are off.
+type Scope struct {
+	reg    *Registry
+	labels []Label
+	proc   string
+}
+
+// Scope binds labels (sorted by key for a canonical identity). The
+// node label, when present, also names the Perfetto process for spans
+// recorded through this scope. Nil registry returns nil.
+func (r *Registry) Scope(labels ...Label) *Scope {
+	if r == nil {
+		return nil
+	}
+	ls := make([]Label, len(labels))
+	copy(ls, labels)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	proc := ""
+	for _, l := range ls {
+		if l.Key == "node" {
+			proc = "node" + l.Value
+		}
+	}
+	return &Scope{reg: r, labels: ls, proc: proc}
+}
+
+// Registry returns the underlying registry (nil for a nil scope).
+func (s *Scope) Registry() *Registry {
+	if s == nil {
+		return nil
+	}
+	return s.reg
+}
+
+// Counter resolves a counter under the scope's labels.
+func (s *Scope) Counter(name string) *Counter {
+	if s == nil {
+		return nil
+	}
+	return s.reg.Counter(name, s.labels...)
+}
+
+// Gauge resolves a gauge under the scope's labels.
+func (s *Scope) Gauge(name string) *Gauge {
+	if s == nil {
+		return nil
+	}
+	return s.reg.Gauge(name, s.labels...)
+}
+
+// Histogram resolves a histogram under the scope's labels.
+func (s *Scope) Histogram(name string) *Histogram {
+	if s == nil {
+		return nil
+	}
+	return s.reg.Histogram(name, s.labels...)
+}
+
+// Span records a timed interval on the given track, grouped under the
+// scope's node process. Nil-safe.
+func (s *Scope) Span(track, name string, start, end sim.Cycles, value uint64, detail string) {
+	if s == nil {
+		return
+	}
+	s.reg.RecordSpan(Span{
+		Proc: s.proc, Track: track, Name: name,
+		Start: start, End: end, Value: value, Detail: detail,
+	})
+}
+
+// String renders a scope for diagnostics.
+func (s *Scope) String() string {
+	if s == nil {
+		return "scope(off)"
+	}
+	return fmt.Sprintf("scope(%s)", key("", s.labels))
+}

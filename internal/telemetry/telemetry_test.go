@@ -1,0 +1,193 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNilRegistrySafe(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z")
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry produced live instruments")
+	}
+	// All nil-instrument operations must be no-ops, not panics.
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(-1)
+	h.Observe(42)
+	if c.Value() != 0 || g.Value() != 0 || g.Max() != 0 || h.Count() != 0 {
+		t.Fatal("nil instruments accumulated state")
+	}
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Fatal("nil histogram reads nonzero")
+	}
+	var s *Scope
+	if s.Counter("x") != nil || s.Gauge("y") != nil || s.Histogram("z") != nil {
+		t.Fatal("nil scope produced live instruments")
+	}
+	s.Span("t", "n", 0, 10, 0, "")
+	if r.Scope(L("node", "0")) != nil {
+		t.Fatal("nil registry produced a scope")
+	}
+	r.RecordSpan(Span{})
+	if r.Spans() != nil || r.SpansTotal() != 0 {
+		t.Fatal("nil registry recorded spans")
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters) != 0 || len(snap.Histograms) != 0 {
+		t.Fatal("nil registry snapshot non-empty")
+	}
+}
+
+func TestCounterGauge(t *testing.T) {
+	r := New()
+	c := r.Counter("requests", L("node", "0"))
+	c.Inc()
+	c.Add(9)
+	if c.Value() != 10 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+	// Same identity resolves to the same instrument.
+	if r.Counter("requests", L("node", "0")) != c {
+		t.Fatal("counter identity not stable")
+	}
+	// Different labels are different instruments.
+	if r.Counter("requests", L("node", "1")) == c {
+		t.Fatal("labels ignored in identity")
+	}
+
+	g := r.Gauge("depth")
+	g.Set(3)
+	g.Add(4)
+	g.Set(2)
+	if g.Value() != 2 || g.Max() != 7 {
+		t.Fatalf("gauge value=%d max=%d", g.Value(), g.Max())
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for v := uint64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	if h.Count() != 1000 || h.Min() != 1 || h.Max() != 1000 {
+		t.Fatalf("count=%d min=%d max=%d", h.Count(), h.Min(), h.Max())
+	}
+	if m := h.Mean(); m < 500 || m > 501 {
+		t.Fatalf("mean = %g", m)
+	}
+	// Log-bucketed quantiles are approximate: within a factor of 2.
+	p50 := h.Quantile(0.50)
+	if p50 < 250 || p50 > 1000 {
+		t.Fatalf("p50 = %g", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 500 || p99 > 1000 {
+		t.Fatalf("p99 = %g", p99)
+	}
+	if h.Quantile(0) != 1 || h.Quantile(1) != 1000 {
+		t.Fatalf("p0=%g p100=%g", h.Quantile(0), h.Quantile(1))
+	}
+	// Quantiles never extrapolate past observed extremes.
+	var one Histogram
+	one.Observe(777)
+	for _, q := range []float64{0, 0.5, 0.9, 0.99, 1} {
+		if got := one.Quantile(q); got != 777 {
+			t.Fatalf("single-sample quantile(%g) = %g", q, got)
+		}
+	}
+}
+
+func TestHistogramZeroAndHuge(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(1 << 62)
+	if h.Min() != 0 || h.Max() != 1<<62 {
+		t.Fatalf("min=%d max=%d", h.Min(), h.Max())
+	}
+	if got := h.Quantile(1); got != float64(uint64(1)<<62) {
+		t.Fatalf("p100 = %g", got)
+	}
+}
+
+func TestScopeLabelsSortedCanonical(t *testing.T) {
+	r := New()
+	a := r.Scope(L("node", "0"), L("dev", "nic"))
+	b := r.Scope(L("dev", "nic"), L("node", "0"))
+	ca := a.Counter("pkts")
+	cb := b.Counter("pkts")
+	if ca != cb {
+		t.Fatal("label order changed instrument identity")
+	}
+	ca.Inc()
+	snap := r.Snapshot()
+	if _, ok := snap.Counter("pkts{dev=nic,node=0}"); !ok {
+		t.Fatalf("canonical name missing: %+v", snap.Counters)
+	}
+}
+
+func TestSpanRingWindowedVsLifetime(t *testing.T) {
+	r := New()
+	for i := 0; i < DefaultSpanCapacity+10; i++ {
+		r.RecordSpan(Span{Name: "s", Start: 0, End: 1, Value: uint64(i)})
+	}
+	spans := r.Spans()
+	if len(spans) != DefaultSpanCapacity {
+		t.Fatalf("ring holds %d", len(spans))
+	}
+	if spans[0].Value != 10 || spans[len(spans)-1].Value != DefaultSpanCapacity+9 {
+		t.Fatalf("ring order wrong: first=%d last=%d", spans[0].Value, spans[len(spans)-1].Value)
+	}
+	if r.SpansTotal() != DefaultSpanCapacity+10 {
+		t.Fatalf("lifetime total = %d", r.SpansTotal())
+	}
+}
+
+func TestSnapshotTextAndJSON(t *testing.T) {
+	r := New()
+	s := r.Scope(L("node", "0"))
+	s.Counter("bus_pio_words").Add(7)
+	s.Gauge("udma_queue_depth").Set(3)
+	h := s.Histogram("udma_xfer_latency_cycles")
+	for i := 0; i < 100; i++ {
+		h.Observe(uint64(1000 + i))
+	}
+	snap := r.Snapshot()
+
+	var text bytes.Buffer
+	snap.WriteText(&text)
+	out := text.String()
+	for _, want := range []string{
+		"bus_pio_words{node=0}", "udma_queue_depth{node=0}",
+		"udma_xfer_latency_cycles{node=0}", "p50=", "p99=",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text snapshot missing %q:\n%s", want, out)
+		}
+	}
+
+	var jbuf bytes.Buffer
+	if err := snap.WriteJSON(&jbuf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded Snapshot
+	if err := json.Unmarshal(jbuf.Bytes(), &decoded); err != nil {
+		t.Fatalf("snapshot JSON invalid: %v", err)
+	}
+	hs, ok := decoded.Hist("udma_xfer_latency_cycles{node=0}")
+	if !ok || hs.Count != 100 || hs.P50 <= 0 || hs.P99 <= 0 {
+		t.Fatalf("decoded histogram: %+v (ok=%v)", hs, ok)
+	}
+
+	var empty bytes.Buffer
+	New().Snapshot().WriteText(&empty)
+	if !strings.Contains(empty.String(), "no metrics") {
+		t.Fatalf("empty snapshot = %q", empty.String())
+	}
+}

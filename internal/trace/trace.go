@@ -112,6 +112,10 @@ type Tracer struct {
 	next  int
 	full  bool
 	total uint64
+	// counts is maintained per-kind at record time so Counts and Summary
+	// report lifetime totals even after the ring wraps and old events
+	// are overwritten.
+	counts map[Kind]uint64
 
 	filter map[Kind]bool // nil = record everything
 }
@@ -124,7 +128,7 @@ func New(clock *sim.Clock, capacity int) *Tracer {
 	if capacity <= 0 {
 		capacity = 1024
 	}
-	return &Tracer{clock: clock, ring: make([]Event, capacity)}
+	return &Tracer{clock: clock, ring: make([]Event, capacity), counts: make(map[Kind]uint64)}
 }
 
 // Filter restricts recording to the given kinds (nil/empty clears the
@@ -151,13 +155,16 @@ func (t *Tracer) Record(kind Kind, a, b uint64, note string) {
 	t.ring[t.next] = Event{At: t.clock.Now(), Kind: kind, A: a, B: b, Note: note}
 	t.next++
 	t.total++
+	t.counts[kind]++
 	if t.next == len(t.ring) {
 		t.next = 0
 		t.full = true
 	}
 }
 
-// Events returns the recorded events, oldest first.
+// Events returns the *buffered* events, oldest first — at most the ring
+// capacity. After a wrap this window covers only the newest events;
+// Counts, Summary and Total still report the whole lifetime.
 func (t *Tracer) Events() []Event {
 	if t == nil {
 		return nil
@@ -191,8 +198,24 @@ func (t *Tracer) Dump(w io.Writer) {
 	}
 }
 
-// Counts returns per-kind event counts from the buffer.
+// Counts returns lifetime per-kind event counts. Unlike Events, the
+// counts are accumulated at record time, so they stay accurate after
+// the ring wraps and overwrites old events.
 func (t *Tracer) Counts() map[Kind]uint64 {
+	out := make(map[Kind]uint64)
+	if t == nil {
+		return out
+	}
+	for k, c := range t.counts {
+		out[k] = c
+	}
+	return out
+}
+
+// BufferedCounts returns per-kind counts of only the events still in
+// the ring (the window Events returns). Compare with Counts to see how
+// much history a wrap discarded.
+func (t *Tracer) BufferedCounts() map[Kind]uint64 {
 	out := make(map[Kind]uint64)
 	for _, e := range t.Events() {
 		out[e.Kind]++
@@ -200,8 +223,8 @@ func (t *Tracer) Counts() map[Kind]uint64 {
 	return out
 }
 
-// Summary renders the per-kind counts compactly. The kind list is
-// derived from the name table, so every kind — including ones added
+// Summary renders the lifetime per-kind counts compactly. The kind list
+// is derived from the name table, so every kind — including ones added
 // after this function was written — is reported.
 func (t *Tracer) Summary() string {
 	counts := t.Counts()

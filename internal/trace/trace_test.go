@@ -51,6 +51,47 @@ func TestRingWrapKeepsNewest(t *testing.T) {
 	}
 }
 
+// TestCountsSurviveRingWrap is the regression test for Counts and
+// Summary undercounting after a wrap: they must report lifetime totals,
+// while BufferedCounts reports only the windowed ring contents.
+func TestCountsSurviveRingWrap(t *testing.T) {
+	clock := sim.NewClock()
+	tr := New(clock, 4)
+	for i := 0; i < 100; i++ {
+		tr.Record(EvStore, uint64(i), 0, "")
+	}
+	tr.Record(EvInitiation, 0, 0, "")
+	tr.Record(EvTransferDone, 0, 0, "")
+
+	counts := tr.Counts()
+	if counts[EvStore] != 100 {
+		t.Fatalf("lifetime store count = %d, want 100 (wrap lost history)", counts[EvStore])
+	}
+	if counts[EvInitiation] != 1 || counts[EvTransferDone] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+	sum := tr.Summary()
+	if !strings.Contains(sum, "store=100") {
+		t.Fatalf("summary undercounts after wrap: %q", sum)
+	}
+
+	// The window still only holds the newest capacity events.
+	buffered := tr.BufferedCounts()
+	var windowed uint64
+	for _, c := range buffered {
+		windowed += c
+	}
+	if windowed != 4 {
+		t.Fatalf("buffered counts cover %d events, want ring capacity 4", windowed)
+	}
+	if buffered[EvStore] != 2 || buffered[EvInitiation] != 1 || buffered[EvTransferDone] != 1 {
+		t.Fatalf("buffered = %v", buffered)
+	}
+	if tr.Total() != 102 {
+		t.Fatalf("Total = %d", tr.Total())
+	}
+}
+
 func TestNilTracerSafe(t *testing.T) {
 	var tr *Tracer
 	tr.Record(EvStore, 1, 2, "x") // must not panic
@@ -64,6 +105,9 @@ func TestNilTracerSafe(t *testing.T) {
 	tr.Dump(&buf)
 	if buf.Len() != 0 {
 		t.Fatal("nil tracer dumped output")
+	}
+	if len(tr.Counts()) != 0 || len(tr.BufferedCounts()) != 0 {
+		t.Fatal("nil tracer has counts")
 	}
 }
 
