@@ -1,7 +1,8 @@
 GO ?= go
 GOFMT ?= gofmt
+FUZZTIME ?= 10s
 
-.PHONY: all build vet fmt test race check bench experiments faults
+.PHONY: all build vet fmt test race check bench experiments faults fuzz simcheck cover
 
 all: check
 
@@ -37,3 +38,21 @@ experiments:
 
 faults:
 	$(GO) run ./cmd/shrimpsim -scenario faults
+
+# fuzz gives each native fuzz target a short budget (override with
+# FUZZTIME=5m for a longer soak). Each target must be fuzzed alone:
+# `go test -fuzz` accepts a single match per package.
+fuzz:
+	$(GO) test ./internal/addr -run FuzzProxyAddr -fuzz FuzzProxyAddr -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/nic -run FuzzNIPTLookup -fuzz FuzzNIPTLookup -fuzztime $(FUZZTIME)
+
+# simcheck runs the deterministic simulation checker's full seed sweep
+# plus the broken-kernel detection tests.
+simcheck:
+	$(GO) test ./internal/simcheck -v
+
+# cover writes a whole-repo coverage profile and prints the per-package
+# function summary (CI uploads cover.out as an artifact).
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1

@@ -10,6 +10,8 @@
 //	shrimpsim -scenario paging      # UDMA under memory pressure (I2/I4)
 //	shrimpsim -scenario faults      # injected faults, per-transfer recovery
 //	shrimpsim -scenario contention  # queued senders: latency under load
+//	shrimpsim -scenario fuzz        # randomized run under the invariant auditor
+//	shrimpsim -scenario fuzz -seed 7 -count 100
 //	shrimpsim -nodes 8 -size 16384  # scenario parameters
 //
 // Observation flags (work with every scenario; telemetry is a pure
@@ -37,6 +39,7 @@ import (
 	"shrimp/internal/machine"
 	"shrimp/internal/nic"
 	"shrimp/internal/sim"
+	"shrimp/internal/simcheck"
 	"shrimp/internal/telemetry"
 	"shrimp/internal/trace"
 	"shrimp/internal/udmalib"
@@ -45,11 +48,12 @@ import (
 
 func main() {
 	var (
-		scenario   = flag.String("scenario", "send", "send | cluster | share | paging | autoupdate | faults | contention")
+		scenario   = flag.String("scenario", "send", "send | cluster | share | paging | autoupdate | faults | contention | fuzz")
 		nodes      = flag.Int("nodes", 4, "cluster scenario: node count")
 		size       = flag.Int("size", 4096, "message size in bytes")
 		senders    = flag.Int("senders", 4, "share/contention scenarios: processes")
-		seed       = flag.Uint64("seed", experiments.FaultSeed, "faults scenario: fault-injection RNG seed")
+		seed       = flag.Uint64("seed", experiments.FaultSeed, "faults/fuzz scenarios: RNG seed (fuzz: first seed)")
+		count      = flag.Int("count", 1, "fuzz scenario: number of consecutive seeds to run")
 		withTrace  = flag.Bool("trace", false, "send scenario: dump the hardware event trace")
 		metrics    = flag.Bool("metrics", false, "print a telemetry snapshot after the scenario")
 		metricsOut = flag.String("metrics-out", "", "write the telemetry snapshot as JSON to this file")
@@ -75,6 +79,8 @@ func main() {
 		err = scenarioFaults(*seed)
 	case "contention":
 		err = scenarioContention(*senders, *size, o)
+	case "fuzz":
+		err = scenarioFuzz(*seed, *count)
 	default:
 		err = fmt.Errorf("unknown scenario %q", *scenario)
 	}
@@ -413,6 +419,32 @@ func scenarioFaults(seed uint64) error {
 	fmt.Println("\nsecond run with the same seed reproduced every row exactly")
 	if !res.Passed() {
 		return fmt.Errorf("fault-recovery checks failed")
+	}
+	return nil
+}
+
+// scenarioFuzz runs seeded randomized scenarios under simcheck's
+// online invariant auditor — the command-line face of the deterministic
+// simulation checker. A failure prints the violation list, the event
+// trail and the one-command go-test repro.
+func scenarioFuzz(seed uint64, count int) error {
+	if seed == experiments.FaultSeed {
+		seed = 1 // the faults-scenario default is not a useful fuzz start
+	}
+	if count < 1 {
+		count = 1
+	}
+	fmt.Printf("# simcheck fuzz: %d seed(s) starting at %d, auditing I1–I4 every window\n", count, seed)
+	failures := 0
+	for s := seed; s < seed+uint64(count); s++ {
+		rep := simcheck.Run(s, simcheck.Options{})
+		fmt.Println(rep)
+		if rep.Failed() {
+			failures++
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d of %d seeds violated an invariant", failures, count)
 	}
 	return nil
 }

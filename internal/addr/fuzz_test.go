@@ -1,0 +1,85 @@
+package addr
+
+import "testing"
+
+// FuzzProxyAddr throws arbitrary 32-bit addresses at the proxy
+// address-space algebra: the PROXY/PROXY⁻¹ bijection, region decoding,
+// and page arithmetic must round-trip exactly for every address in
+// their domain and panic only outside it.
+func FuzzProxyAddr(f *testing.F) {
+	f.Add(uint32(0))
+	f.Add(uint32(0x0000_1234))
+	f.Add(uint32(MemProxyBase))
+	f.Add(uint32(DevProxyBase | 0x7F_F000))
+	f.Add(uint32(KernelBase | 1))
+	f.Add(^uint32(0))
+	f.Fuzz(func(t *testing.T, raw uint32) {
+		pa := PAddr(raw)
+		va := VAddr(raw)
+		region := RegionOf(pa)
+		if vr := VRegionOf(va); vr != region {
+			t.Fatalf("region split-brain for %#x: physical %v, virtual %v", raw, region, vr)
+		}
+
+		switch region {
+		case RegionMemory:
+			p := Proxy(pa)
+			if RegionOf(p) != RegionMemProxy {
+				t.Fatalf("Proxy(%#x) = %#x not in mem-proxy region", raw, uint32(p))
+			}
+			if back := Unproxy(p); back != pa {
+				t.Fatalf("Unproxy(Proxy(%#x)) = %#x", raw, uint32(back))
+			}
+			if PPageOff(p) != PPageOff(pa) {
+				t.Fatalf("Proxy(%#x) moved the page offset", raw)
+			}
+			vp := VProxy(va)
+			if back := VUnproxy(vp); back != va {
+				t.Fatalf("VUnproxy(VProxy(%#x)) = %#x", raw, uint32(back))
+			}
+			if VPN(vp) == VPN(va) {
+				t.Fatalf("VProxy(%#x) kept the same VPN %#x", raw, VPN(va))
+			}
+		case RegionMemProxy:
+			real := Unproxy(pa)
+			if RegionOf(real) != RegionMemory {
+				t.Fatalf("Unproxy(%#x) = %#x not in memory region", raw, uint32(real))
+			}
+			if p := Proxy(real); p != pa {
+				t.Fatalf("Proxy(Unproxy(%#x)) = %#x", raw, uint32(p))
+			}
+		case RegionDevProxy:
+			page := DevProxyPage(pa)
+			if page >= RegionMaxPage {
+				t.Fatalf("DevProxyPage(%#x) = %d out of range", raw, page)
+			}
+			if back := DevProxy(page, PPageOff(pa)); back != pa {
+				t.Fatalf("DevProxy(DevProxyPage(%#x)) = %#x", raw, uint32(back))
+			}
+		case RegionKernel:
+			mustPanic(t, "Proxy", func() { Proxy(pa) })
+			mustPanic(t, "Unproxy", func() { Unproxy(pa) })
+			mustPanic(t, "DevProxyPage", func() { DevProxyPage(pa) })
+		}
+
+		// Page arithmetic invariants hold for every address.
+		if got := PageAddr(VPN(va)) + VAddr(PageOff(va)); got != va {
+			t.Fatalf("PageAddr(VPN)+PageOff != identity for %#x: %#x", raw, uint32(got))
+		}
+		if got := FrameAddr(PFN(pa)) + PAddr(PPageOff(pa)); got != pa {
+			t.Fatalf("FrameAddr(PFN)+PPageOff != identity for %#x: %#x", raw, uint32(got))
+		}
+		if PageBase(va) != PageAddr(VPN(va)) {
+			t.Fatalf("PageBase disagrees with PageAddr∘VPN for %#x", raw)
+		}
+		if n := BytesToPageEnd(va); n < 1 || n > PageSize {
+			t.Fatalf("BytesToPageEnd(%#x) = %d", raw, n)
+		}
+		if SpanCrossesPage(va, BytesToPageEnd(va)) {
+			t.Fatalf("span of BytesToPageEnd(%#x) crosses its page", raw)
+		}
+		if !SamePage(va, va+VAddr(BytesToPageEnd(va)-1)) {
+			t.Fatalf("last byte of %#x's page is on another page", raw)
+		}
+	})
+}

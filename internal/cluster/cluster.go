@@ -134,48 +134,70 @@ func New(cfg Config) *Cluster {
 // whole round in which no node makes progress and none has pending
 // events ends the run.
 func (c *Cluster) Run(limit sim.Cycles) error {
-	horizon := c.minNow() + c.window
+	horizon := c.MinNow() + c.window
 	for {
 		if horizon > limit {
 			horizon = limit
 		}
-		progress := false
-		for _, n := range c.Nodes {
-			before := n.Clock.Now()
-			err := n.Kernel.Run(horizon)
-			if err != nil && !errors.Is(err, kernel.ErrDeadlock) {
-				return fmt.Errorf("cluster: node %d: %w", n.ID, err)
-			}
-			if n.Kernel.AllExited() {
-				// The node's software is done but its hardware may not
-				// be: in-flight DMA completions launch packets, receive
-				// DMAs land data other nodes are polling for. Let the
-				// node's clock follow the horizon so those events fire.
-				n.Clock.AdvanceTo(horizon)
-			}
-			if n.Clock.Now() != before {
-				progress = true
-			}
+		progress, err := c.Step(horizon)
+		if err != nil {
+			return err
 		}
-		if c.allExitedOrIdle() {
-			c.drainHardware()
+		if c.AllIdle() {
+			c.DrainHardware()
 			return nil
 		}
 		if horizon >= limit {
 			return nil
 		}
-		if !progress && !c.anyPending() {
+		// A processor may overshoot the horizon (charge() only yields
+		// after the clock moves), making the next window a no-op round;
+		// that is not a deadlock until the horizon has caught up with
+		// every clock and still nothing runs.
+		if !progress && !c.AnyPending() && horizon >= c.MaxNow() {
 			return kernel.ErrDeadlock
 		}
 		horizon += c.window
 	}
 }
 
-// drainHardware fires every remaining scheduled event on every node
+// Step runs one lockstep window: every node's kernel runs until its
+// local clock reaches horizon (exited nodes coast so their hardware
+// events still fire). It reports whether any node's clock moved —
+// callers, like Run, end the simulation when a whole round makes no
+// progress and no events are pending. Extracted from Run so external
+// drivers (the simcheck runner) can interleave work — invariant
+// audits, process kills — between windows, when no process is mid-
+// instruction and node state is consistent.
+func (c *Cluster) Step(horizon sim.Cycles) (progress bool, err error) {
+	for _, n := range c.Nodes {
+		before := n.Clock.Now()
+		err := n.Kernel.Run(horizon)
+		if err != nil && !errors.Is(err, kernel.ErrDeadlock) {
+			return progress, fmt.Errorf("cluster: node %d: %w", n.ID, err)
+		}
+		if n.Kernel.AllExited() {
+			// The node's software is done but its hardware may not
+			// be: in-flight DMA completions launch packets, receive
+			// DMAs land data other nodes are polling for. Let the
+			// node's clock follow the horizon so those events fire.
+			n.Clock.AdvanceTo(horizon)
+		}
+		if n.Clock.Now() != before {
+			progress = true
+		}
+	}
+	return progress, nil
+}
+
+// Window returns the configured lockstep horizon step.
+func (c *Cluster) Window() sim.Cycles { return c.window }
+
+// DrainHardware fires every remaining scheduled event on every node
 // (in-flight transfers, packets, receive DMAs, flush timers) once all
 // software has exited. Events fired on one node may schedule events on
 // another, so sweep until the whole cluster is quiescent.
-func (c *Cluster) drainHardware() {
+func (c *Cluster) DrainHardware() {
 	for {
 		fired := 0
 		for _, n := range c.Nodes {
@@ -206,7 +228,9 @@ func (c *Cluster) MaxNow() sim.Cycles {
 	return m
 }
 
-func (c *Cluster) minNow() sim.Cycles {
+// MinNow returns the furthest-behind node clock — the base the next
+// lockstep horizon is computed from.
+func (c *Cluster) MinNow() sim.Cycles {
 	m := sim.Forever
 	for _, n := range c.Nodes {
 		if now := n.Clock.Now(); now < m {
@@ -216,7 +240,8 @@ func (c *Cluster) minNow() sim.Cycles {
 	return m
 }
 
-func (c *Cluster) allExitedOrIdle() bool {
+// AllIdle reports whether every process on every node has exited.
+func (c *Cluster) AllIdle() bool {
 	for _, n := range c.Nodes {
 		if !kernelIdle(n) {
 			return false
@@ -260,7 +285,8 @@ func (c *Cluster) PublishRollup() {
 	root.Gauge("cluster_recv_drops").Set(int64(drops))
 }
 
-func (c *Cluster) anyPending() bool {
+// AnyPending reports whether any node has scheduled events outstanding.
+func (c *Cluster) AnyPending() bool {
 	for _, n := range c.Nodes {
 		if n.Clock.Pending() > 0 {
 			return true

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"shrimp/internal/addr"
 	"shrimp/internal/device"
@@ -655,6 +656,53 @@ func (c *Controller) DestLoadedFrame() (pfn uint32, ok bool) {
 		return 0, false
 	}
 	return addr.PFN(d), true
+}
+
+// ReferencedFrames returns every physical memory frame currently named
+// by the in-flight transfer or a queued request, in ascending order —
+// the full I4 audit surface, where PageInUse answers for one frame.
+func (c *Controller) ReferencedFrames() []uint32 {
+	out := make([]uint32, 0, len(c.pageRefs))
+	for pfn := range c.pageRefs {
+		out = append(out, pfn)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AuditRefCounts recomputes the expected per-frame reference counts
+// from the in-flight request and both queues and compares them with
+// the live pageRefs map, returning an error on the first mismatch.
+// External consistency checkers call it; the hardware never does.
+func (c *Controller) AuditRefCounts() error {
+	want := make(map[uint32]int)
+	add := func(r request) {
+		for _, a := range []addr.PAddr{r.src, r.dst} {
+			if addr.RegionOf(a) == addr.RegionMemory {
+				want[addr.PFN(a)]++
+			}
+		}
+	}
+	if c.hasInflight {
+		add(c.inflight)
+	}
+	for _, r := range c.sysQ {
+		add(r)
+	}
+	for _, r := range c.userQ {
+		add(r)
+	}
+	for pfn, n := range want {
+		if c.pageRefs[pfn] != n {
+			return fmt.Errorf("core: frame %d refcount %d, want %d", pfn, c.pageRefs[pfn], n)
+		}
+	}
+	for pfn, n := range c.pageRefs {
+		if want[pfn] != n {
+			return fmt.Errorf("core: frame %d refcount %d, want %d", pfn, n, want[pfn])
+		}
+	}
+	return nil
 }
 
 func (c *Controller) ref(r request) {

@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"shrimp/internal/addr"
+	"shrimp/internal/device"
 )
 
 // refModel is an abstract, obviously-correct model of the basic (queue-
@@ -188,6 +189,107 @@ func TestRandomInitiationsAlwaysDeliverData(t *testing.T) {
 		return true
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQueueFullRemainingBytesTwoProcesses interleaves two initiators
+// (two time-sliced processes sharing the controller, each with its own
+// source and destination pages) until the request queue refuses a
+// transfer, and checks the paper's REMAINING-BYTES contract on the
+// refusal: the status LOAD reports the actual outstanding work —
+// engine remaining plus every queued request — not the latched count of
+// the refused request; the refuser's latch survives (DestLoaded) so the
+// LOAD alone can retry; and as the queue drains, successive refusals
+// report monotonically non-increasing outstanding byte counts until the
+// retry initiates.
+func TestQueueFullRemainingBytesTwoProcesses(t *testing.T) {
+	prop := func(seed uint16) bool {
+		depth := 1 + int(seed%4)
+		r := newRigQuiet(Config{QueueDepth: depth})
+		rng := newSplitMix(uint64(seed)*977 + 7)
+
+		// Two "processes": disjoint source frames and device pages, so
+		// both can legally have work outstanding at once.
+		type proc struct {
+			srcPA   addr.PAddr
+			devPage uint32
+		}
+		procs := [2]proc{{srcPA: 0x4000, devPage: 1}, {srcPA: 0x8000, devPage: 5}}
+
+		queuedBytes := 0 // bytes accepted (inflight + queued) so far
+		var full Status
+		fullSeen := false
+		// Fill: alternate initiators, no clock advance, until a refusal.
+		for i := 0; i < 2*(depth+2) && !fullSeen; i++ {
+			p := procs[i%2]
+			n := 4 * (8 + int(rng()%120)) // 32..508 bytes
+			st := r.initiate(addr.DevProxy(p.devPage, 0), addr.Proxy(p.srcPA), int32(n))
+			switch {
+			case st.Initiated():
+				queuedBytes += n
+			case st.DeviceErr()&device.ErrQueueFull != 0:
+				full = st
+				fullSeen = true
+			default:
+				t.Logf("unexpected status %v", st)
+				return false
+			}
+		}
+		if !fullSeen {
+			t.Logf("queue (depth %d) never filled", depth)
+			return false
+		}
+
+		// The refusal reports the true outstanding figure: everything
+		// accepted so far, minus what the engine has already moved —
+		// here, nothing, because the clock never advanced.
+		if full.Remaining() != queuedBytes {
+			t.Logf("REMAINING-BYTES %d, want %d outstanding", full.Remaining(), queuedBytes)
+			return false
+		}
+		if full.Initiated() || full.Invalid() {
+			t.Logf("queue-full status looks initiated or invalid: %v", full)
+			return false
+		}
+		// The refused initiator's latch must survive so a LOAD alone can
+		// retry once the queue drains (the library's initiateQueued
+		// protocol depends on this).
+		if r.ctl.State() != DestLoaded {
+			t.Logf("state after refusal = %v, want DestLoaded", r.ctl.State())
+			return false
+		}
+
+		// Drain in steps, retrying with the LOAD alone. Outstanding
+		// bytes must never increase between consecutive refusals, and
+		// the retry must eventually initiate.
+		retrySrc := procs[1].srcPA // the last refused initiator's source
+		lastOutstanding := full.Remaining()
+		for tries := 0; ; tries++ {
+			if tries > 64 {
+				t.Log("LOAD retry never initiated")
+				return false
+			}
+			r.clock.Advance(r.transferCycles(128))
+			st := r.ctl.Load(addr.Proxy(retrySrc))
+			if st.Initiated() {
+				break
+			}
+			if st.DeviceErr()&device.ErrQueueFull == 0 {
+				// Latch lost or another failure: protocol broken.
+				t.Logf("retry status %v", st)
+				return false
+			}
+			if st.Remaining() > lastOutstanding {
+				t.Logf("outstanding grew while draining: %d -> %d", lastOutstanding, st.Remaining())
+				return false
+			}
+			lastOutstanding = st.Remaining()
+		}
+		r.clock.RunUntilIdle()
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)
 	}
 }

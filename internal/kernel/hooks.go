@@ -1,0 +1,24 @@
+package kernel
+
+// TestHooks deliberately disable individual invariant-maintenance steps
+// so the simulation checker (internal/simcheck) can prove its auditor
+// detects each class of violation: a checker that has never seen a
+// broken kernel fail is itself unverified. Production code never sets
+// any of these.
+type TestHooks struct {
+	// SkipI1Inval makes switchTo skip the context-switch Inval (and its
+	// counters), breaking invariant I1.
+	SkipI1Inval bool
+	// SkipI2ProxyInval makes evictFrame leave the stale proxy PTE
+	// behind when the real mapping is destroyed, breaking I2.
+	SkipI2ProxyInval bool
+	// SkipI3Dirty makes the proxy write-upgrade path enable writes
+	// without marking the real page dirty, breaking I3.
+	SkipI3Dirty bool
+	// SkipI4Guard makes evictOne ignore UDMA references when choosing
+	// victims, breaking I4.
+	SkipI4Guard bool
+}
+
+// SetTestHooks installs invariant-breaking hooks (tests only).
+func (k *Kernel) SetTestHooks(h TestHooks) { k.hooks = h }

@@ -70,6 +70,7 @@ type Stats struct {
 	CleanRaceKeeps   uint64 // I3: dirty kept because DMA was in flight
 	DMAFailures      uint64 // engine completions that carried an error
 	MachineChecks    uint64 // MachineCheck invocations
+	ReapDeferrals    uint64 // frames parked at reap because UDMA held them
 }
 
 // Kernel is one node's operating system instance.
@@ -116,6 +117,13 @@ type Kernel struct {
 	// non-blocking processes cannot wedge the scheduler.
 	runLimit sim.Cycles
 
+	// parkedFrames are frames whose owner exited while the UDMA
+	// hardware still referenced them (I4 applies to reap exactly as it
+	// does to eviction); they drain when the hardware lets go.
+	parkedFrames []uint32
+
+	hooks TestHooks
+
 	tracer *trace.Tracer // nil = tracing off
 	m      kernMetrics
 }
@@ -155,6 +163,7 @@ type frameInfo struct {
 	pinned int
 	kernel bool // kernel-owned (bounce buffers); never evicted
 	used   bool
+	parked bool // owner exited while UDMA referenced the frame
 }
 
 // ErrDeadlock is returned by Run when processes are blocked but no
@@ -200,6 +209,7 @@ func New(clock *sim.Clock, costs *sim.CostModel, ram *mem.Physical, swap *mem.Ba
 		if err != nil {
 			k.stats.DMAFailures++
 		}
+		k.drainParked()
 		if fn := k.engineNotify; fn != nil {
 			k.engineNotify = nil
 			fn(err)
@@ -239,6 +249,9 @@ func (k *Kernel) MachineCheck(reason error) int {
 		k.engine.Abort()
 		n = 1
 	}
+	// Terminate dropped the controller's references; any frames parked
+	// at reap behind those references can go now.
+	k.drainParked()
 	// The aborted transfer's completion will never fire: bump the epoch
 	// so its waiter returns ErrTerminated, and disarm the notify slot so
 	// an unrelated later completion cannot be misattributed.
@@ -406,7 +419,7 @@ func (k *Kernel) switchTo(p *Proc) {
 		// buffers so its tail writes do not linger in the board.
 		k.current.flushAutoUpdates()
 	}
-	if k.udma != nil {
+	if k.udma != nil && !k.hooks.SkipI1Inval {
 		// I1: "the operating system must invalidate any partially
 		// initiated UDMA transfer on every context switch ... with a
 		// single STORE instruction."
@@ -428,10 +441,18 @@ func (k *Kernel) reap(p *Proc) {
 		}
 	}
 	p.autoRanges = nil
-	// Release every frame and swap slot the process holds.
+	// Release every frame and swap slot the process holds. A frame the
+	// UDMA hardware still references — a queued request from this
+	// process, or an in-flight transfer — must not return to the free
+	// list yet (I4 applies to reap exactly as to eviction): it is
+	// parked and drained when the hardware completes or terminates.
 	p.as.Walk(func(vpn uint32, e *mmu.PTE) bool {
 		if e.Present && addr.RegionOf(addr.PAddr(e.PPN<<addr.PageShift)) == addr.RegionMemory {
-			k.releaseFrame(e.PPN)
+			if k.frameBusyForRelease(e.PPN) {
+				k.parkFrame(e.PPN)
+			} else {
+				k.releaseFrame(e.PPN)
+			}
 		}
 		if e.SwapSlot != 0 {
 			if err := k.swap.Free(e.SwapSlot); err != nil {
@@ -458,3 +479,99 @@ func (k *Kernel) blockOnEngine(p *Proc) {
 	k.engineWaiters = append(k.engineWaiters, p)
 	p.block()
 }
+
+// Kill marks p for termination. The next time the scheduler resumes it
+// the process unwinds — deferred cleanups run, frames are released
+// (UDMA-referenced ones parked) — and exits; a blocked process becomes
+// runnable so the kill takes effect promptly. Killing an exited process
+// is a no-op. Must not be called from process context.
+func (k *Kernel) Kill(p *Proc) {
+	if p.state == procExited {
+		return
+	}
+	p.killed = true
+	if p.state == procBlocked {
+		p.state = procReady
+	}
+}
+
+// Procs returns the spawned processes, live and exited, in spawn order
+// (external auditors walk their address spaces).
+func (k *Kernel) Procs() []*Proc {
+	out := make([]*Proc, len(k.procs))
+	copy(out, k.procs)
+	return out
+}
+
+// FrameState is a read-only snapshot of one physical frame's kernel
+// bookkeeping, for external auditors.
+type FrameState struct {
+	Used     bool // allocated or parked; false = on the free list
+	Kernel   bool // kernel-owned bounce frame
+	Parked   bool // owner exited while UDMA referenced the frame
+	Pinned   int
+	OwnerPID int // 0 when unowned (free, kernel or parked)
+	VPN      uint32
+}
+
+// FrameStates snapshots every physical frame's bookkeeping.
+func (k *Kernel) FrameStates() []FrameState {
+	out := make([]FrameState, len(k.frames))
+	for i := range k.frames {
+		fi := &k.frames[i]
+		out[i] = FrameState{
+			Used: fi.used, Kernel: fi.kernel, Parked: fi.parked,
+			Pinned: fi.pinned, VPN: fi.vpn,
+		}
+		if fi.owner != nil {
+			out[i].OwnerPID = fi.owner.pid
+		}
+	}
+	return out
+}
+
+// frameBusyForRelease reports whether the DMA hardware still references
+// pfn, so reap must defer releasing it. Unlike frameHeldByUDMA it also
+// peeks the engine registers when a controller is present — the
+// kernel's traditional-DMA path can Start the engine directly without
+// entering the controller's reference counts — and it never fires the
+// DestLoaded-clearing Inval (the latch may belong to a live process
+// mid-sequence; I1 handles it at the next switch).
+func (k *Kernel) frameBusyForRelease(pfn uint32) bool {
+	if k.udma != nil && k.udma.PageInUse(pfn) {
+		return true
+	}
+	return k.engineRegisterNames(pfn)
+}
+
+// parkFrame detaches a frame from its (exiting) owner without freeing
+// it; drainParked returns it to the free list when the hardware is
+// done with it.
+func (k *Kernel) parkFrame(pfn uint32) {
+	k.frames[pfn] = frameInfo{used: true, parked: true}
+	k.parkedFrames = append(k.parkedFrames, pfn)
+	k.stats.ReapDeferrals++
+}
+
+// drainParked frees parked frames whose hardware references are gone.
+// Called on every engine completion and after a Terminate.
+func (k *Kernel) drainParked() {
+	if len(k.parkedFrames) == 0 {
+		return
+	}
+	keep := k.parkedFrames[:0]
+	for _, pfn := range k.parkedFrames {
+		if k.frameBusyForRelease(pfn) {
+			keep = append(keep, pfn)
+		} else {
+			k.frames[pfn].parked = false
+			k.releaseFrame(pfn)
+		}
+	}
+	k.parkedFrames = keep
+}
+
+// EngineWaiters reports how many processes are blocked waiting for a
+// DMA engine completion (diagnostic; simcheck's liveness reporting
+// reads it).
+func (k *Kernel) EngineWaiters() int { return len(k.engineWaiters) }

@@ -93,6 +93,10 @@ func (p *Proc) Name() string { return p.name }
 // Segfaults returns how many illegal accesses the process has made.
 func (p *Proc) Segfaults() int { return p.segfaults }
 
+// Exited reports whether the process has finished (or been killed and
+// reaped).
+func (p *Proc) Exited() bool { return p.state == procExited }
+
 // AddressSpace exposes the page table for tests and kernel-side tools.
 func (p *Proc) AddressSpace() *mmu.AddressSpace { return p.as }
 
@@ -329,3 +333,7 @@ func min(a, b int) int {
 	}
 	return b
 }
+
+// Blocked reports whether the process is blocked in the kernel
+// (diagnostic; simcheck's liveness reporting reads it).
+func (p *Proc) Blocked() bool { return p.state == procBlocked }

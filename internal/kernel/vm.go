@@ -126,7 +126,7 @@ func (k *Kernel) evictOne() error {
 		if !fi.used || fi.kernel || fi.pinned > 0 || fi.owner == nil {
 			continue
 		}
-		if k.frameHeldByUDMA(pfn) {
+		if !k.hooks.SkipI4Guard && k.frameHeldByUDMA(pfn) {
 			k.stats.EvictionStallsI4++
 			continue
 		}
@@ -213,7 +213,9 @@ func (k *Kernel) evictFrame(pfn uint32, owner *Proc, vpn uint32, pte *mmu.PTE) e
 	k.mmu.TLB().FlushPage(owner.as.ASID, vpn)
 
 	// I2: the proxy mapping is valid only while the real mapping is.
-	k.invalidateProxyPTE(owner, vpn)
+	if !k.hooks.SkipI2ProxyInval {
+		k.invalidateProxyPTE(owner, vpn)
+	}
 
 	k.releaseFrame(pfn)
 	return nil
@@ -321,7 +323,9 @@ func (k *Kernel) handleMemProxyFault(p *Proc, f *mmu.Fault) error {
 		// "the kernel enables writes to PROXY(vmem_page) so the user's
 		// transfer can take place; the kernel also marks vmem_page as
 		// dirty to maintain I3."
-		realPTE.Dirty = true
+		if !k.hooks.SkipI3Dirty {
+			realPTE.Dirty = true
+		}
 		proxyPTE.Writable = true
 		k.mmu.TLB().FlushPage(p.as.ASID, proxyVPN)
 		k.stats.ProxyUpgrades++
@@ -355,7 +359,9 @@ func (k *Kernel) handleMemProxyFault(p *Proc, f *mmu.Fault) error {
 		}
 		// The faulting access is itself a store: mark dirty and map
 		// writable in one step (saves the immediate protection fault).
-		realPTE.Dirty = true
+		if !k.hooks.SkipI3Dirty {
+			realPTE.Dirty = true
+		}
 		writable = true
 		k.stats.ProxyUpgrades++
 	}

@@ -17,6 +17,7 @@ import (
 	"shrimp/internal/mmu"
 	"shrimp/internal/sim"
 	"shrimp/internal/telemetry"
+	"shrimp/internal/trace"
 )
 
 // SHRIMP1996 returns the cost model calibrated against the paper's
@@ -165,6 +166,17 @@ func New(id int, cfg Config) *Node {
 		n.Kernel.SetMetrics(scope)
 	}
 	return n
+}
+
+// SetTracer attaches one event tracer to the node's kernel and UDMA
+// controller so a single ring holds the interleaved event record (nil
+// disables tracing). Devices with their own tracers (the NIC) are
+// attached by the caller.
+func (n *Node) SetTracer(t *trace.Tracer) {
+	n.Kernel.SetTracer(t)
+	if n.UDMA != nil {
+		n.UDMA.SetTracer(t)
+	}
 }
 
 // AttachDevice decodes a device's proxy pages starting at firstPage.

@@ -1,0 +1,91 @@
+package nic
+
+import (
+	"testing"
+
+	"shrimp/internal/addr"
+	"shrimp/internal/device"
+)
+
+// FuzzNIPTLookup drives the board's NIPT management, transfer
+// validation, launch and PIO paths with arbitrary indices, offsets and
+// entries. The board must never panic: out-of-range indices are
+// errors, out-of-range transfer pages are ErrBounds, launches through
+// invalid entries are refused, and packets aimed at frames the
+// receiver does not have are counted as drops — never memory writes.
+func FuzzNIPTLookup(f *testing.F) {
+	f.Add(uint32(3), uint32(7), uint32(256), uint16(20), true, true)
+	f.Add(uint32(16), uint32(0), uint32(0), uint16(4), true, true)    // index == size
+	f.Add(uint32(1<<31), uint32(0), uint32(0), uint16(4), true, true) // absurd index
+	f.Add(uint32(5), uint32(1<<20), uint32(4092), uint16(8), true, true)
+	f.Add(uint32(2), uint32(3), uint32(2), uint16(6), false, false) // misaligned recv
+	f.Fuzz(func(t *testing.T, index, pfn, off uint32, nbytes uint16, toDevice, valid bool) {
+		const niptPages = 16
+		p := newPair(t, Config{NIPTPages: niptPages, PIOWindow: true})
+		sender := p.nics[0]
+
+		entry := NIPTEntry{Valid: valid, DestNode: 1, DestPFN: pfn}
+		err := sender.SetNIPT(index, entry)
+		if (err != nil) != (index >= sender.NIPTSize()) {
+			t.Fatalf("SetNIPT(%d) err=%v with %d entries", index, err, sender.NIPTSize())
+		}
+		if _, err := sender.NIPT(index); (err != nil) != (index >= sender.NIPTSize()) {
+			t.Fatalf("NIPT(%d) lookup err=%v with %d entries", index, err, sender.NIPTSize())
+		}
+
+		da := device.DevAddr{Page: index, Off: off % addr.PageSize}
+		bits := sender.CheckTransfer(da, int(nbytes), toDevice)
+		if index >= niptPages && bits&device.ErrBounds == 0 {
+			t.Fatalf("CheckTransfer accepted out-of-range page %d: bits %#x", index, uint32(bits))
+		}
+		if !toDevice && bits&device.ErrReadOnly == 0 {
+			t.Fatal("CheckTransfer accepted a device-to-memory transfer on the send-only board")
+		}
+		if index < niptPages && valid && toDevice &&
+			da.Off%4 == 0 && nbytes%4 == 0 && bits != 0 {
+			t.Fatalf("CheckTransfer rejected a legal transfer: bits %#x", uint32(bits))
+		}
+
+		if bits == 0 && nbytes > 0 {
+			// The engine's contract: Write follows a clean CheckTransfer.
+			payload := make([]byte, nbytes)
+			for i := range payload {
+				payload[i] = byte(i)
+			}
+			if err := sender.Write(da, payload, 0); err != nil {
+				t.Fatalf("Write after clean CheckTransfer: %v", err)
+			}
+			sent := sender.Stats()
+			if sent.PacketsSent != 1 || sent.BytesSent != uint64(nbytes) {
+				t.Fatalf("launch accounted wrong: %+v", sent)
+			}
+			// Drain the flight and receive DMA; the packet must either
+			// land in an installed frame or be dropped — exactly one.
+			p.clocks[1].Advance(10_000_000)
+			recv := p.nics[1].Stats()
+			if recv.PacketsReceived+recv.RecvDrops != 1 {
+				t.Fatalf("packet neither received nor dropped: %+v", recv)
+			}
+			if recv.PacketsReceived == 1 && !p.rams[1].Contains(
+				addr.PAddr(pfn<<addr.PageShift|da.Off), int(nbytes)) {
+				t.Fatal("receive DMA wrote outside installed memory")
+			}
+		}
+
+		// PIO path with the same raw destination word: an invalid or
+		// out-of-range NIPT index silently drops the packet.
+		pioBefore := sender.Stats().PacketsSent
+		pioDA := device.DevAddr{Page: niptPages}
+		sender.PIOStore(device.DevAddr{Page: pioDA.Page, Off: PIORegDest}, index<<addr.PageShift|off&addr.OffsetMask)
+		sender.PIOStore(device.DevAddr{Page: pioDA.Page, Off: PIORegData}, 0xDEADBEEF)
+		sender.PIOStore(device.DevAddr{Page: pioDA.Page, Off: PIORegLaunch}, 1)
+		launched := sender.Stats().PacketsSent - pioBefore
+		if legal := index < niptPages && valid; (launched == 1) != legal {
+			t.Fatalf("PIO launch through entry %d (valid=%v): %d packets", index, valid, launched)
+		}
+		if sender.PIOLoad(device.DevAddr{Page: pioDA.Page, Off: PIORegStatus}) != 1 {
+			t.Fatal("PIO status register not ready")
+		}
+		p.clocks[1].Advance(10_000_000)
+	})
+}

@@ -1,0 +1,130 @@
+package simcheck
+
+import (
+	"fmt"
+
+	"shrimp/internal/addr"
+	"shrimp/internal/machine"
+	"shrimp/internal/mmu"
+)
+
+// audit runs the online invariant checks against every node. It is
+// called between lockstep windows, when no process is mid-instruction,
+// and only reads state — an audited run is cycle-identical to an
+// unaudited one.
+func (s *scenario) audit(step int) {
+	for i, n := range s.cl.Nodes {
+		if s.capped() {
+			return
+		}
+		s.auditNode(i, n)
+	}
+}
+
+func (s *scenario) auditNode(node int, n *machine.Node) {
+	// Simulated time is monotonic: an event clock that moves backward
+	// invalidates every latency number the simulator reports.
+	now := n.Clock.Now()
+	if now < s.lastNow[node] {
+		s.fail(node, "time", fmt.Sprintf("clock moved backward: %d -> %d", s.lastNow[node], now))
+	}
+	s.lastNow[node] = now
+
+	// I1: every context switch fired exactly one Inval. The controller
+	// latch carries a destination across the two-instruction initiation;
+	// without the Inval the next process's LOAD consumes the previous
+	// process's STORE and user-level protection is gone (paper §5).
+	st := n.Kernel.Stats()
+	if st.Invals != st.ContextSwitches {
+		s.fail(node, "I1", fmt.Sprintf("%d context switches but %d Invals", st.ContextSwitches, st.Invals))
+	}
+
+	frames := n.Kernel.FrameStates()
+
+	// Frame accounting: every frame is on the free list or marked used,
+	// never both, never neither.
+	used := 0
+	for _, f := range frames {
+		if f.Used {
+			used++
+		}
+	}
+	if used+n.Kernel.FreeFrames() != len(frames) {
+		s.fail(node, "frame-accounting",
+			fmt.Sprintf("%d used + %d free != %d frames", used, n.Kernel.FreeFrames(), len(frames)))
+	}
+
+	// I2/I3: walk every live process's memory-proxy PTEs against the
+	// real mappings they shadow. Exited processes are skipped — reap
+	// tears their tables down lazily.
+	for _, p := range n.Kernel.Procs() {
+		if p.Exited() {
+			continue
+		}
+		as := p.AddressSpace()
+		as.Walk(func(vpn uint32, e *mmu.PTE) bool {
+			va := addr.PageAddr(vpn)
+			if addr.VRegionOf(va) != addr.RegionMemProxy || !e.Valid || !e.Present {
+				return true
+			}
+			realPTE := as.Lookup(addr.VPN(addr.VUnproxy(va)))
+			// I2: a proxy PTE may be valid only while the real page it
+			// shadows is mapped and resident, and must name exactly the
+			// proxy-space alias of the real page's frame.
+			if realPTE == nil || !realPTE.Valid || !realPTE.Present {
+				s.fail(node, "I2",
+					fmt.Sprintf("pid %d proxy vpn %#x present but real page is not", p.PID(), vpn))
+				return !s.capped()
+			}
+			if want := addr.PFN(addr.Proxy(addr.FrameAddr(realPTE.PPN))); e.PPN != want {
+				s.fail(node, "I2",
+					fmt.Sprintf("pid %d proxy vpn %#x maps ppn %#x, real frame aliases to %#x",
+						p.PID(), vpn, e.PPN, want))
+				return !s.capped()
+			}
+			// I3: a writable proxy page means the CPU can initiate an
+			// incoming transfer into the real page without a trap, so
+			// the real page must already be dirty (and writable).
+			if e.Writable && !(realPTE.Dirty && realPTE.Writable) {
+				s.fail(node, "I3",
+					fmt.Sprintf("pid %d proxy vpn %#x writable but real page dirty=%v writable=%v",
+						p.PID(), vpn, realPTE.Dirty, realPTE.Writable))
+				return !s.capped()
+			}
+			return true
+		})
+		if s.capped() {
+			return
+		}
+	}
+
+	// I4: every frame the UDMA hardware references — queued transfers,
+	// the in-flight transfer, and the engine's current source and
+	// destination — must still be allocated. A freed-but-referenced
+	// frame is the wild-DMA bug the paper's reference counts exist to
+	// prevent.
+	if n.UDMA != nil {
+		for _, pfn := range n.UDMA.ReferencedFrames() {
+			if int(pfn) >= len(frames) {
+				continue // device-region endpoint, not a RAM frame
+			}
+			if !frames[pfn].Used {
+				s.fail(node, "I4", fmt.Sprintf("UDMA references freed frame %d", pfn))
+			}
+		}
+		if err := n.UDMA.AuditRefCounts(); err != nil {
+			s.fail(node, "refcount", err.Error())
+		}
+	}
+	if n.Engine.Busy() {
+		for _, pa := range []addr.PAddr{n.Engine.Source(), n.Engine.Destination()} {
+			if addr.RegionOf(pa) != addr.RegionMemory {
+				continue
+			}
+			pfn := addr.PFN(pa)
+			if int(pfn) < len(frames) && !frames[pfn].Used {
+				s.fail(node, "I4", fmt.Sprintf("DMA engine touches freed frame %d", pfn))
+			}
+		}
+	}
+}

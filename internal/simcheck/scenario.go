@@ -1,0 +1,648 @@
+package simcheck
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"shrimp/internal/addr"
+	"shrimp/internal/cluster"
+	"shrimp/internal/core"
+	"shrimp/internal/device"
+	"shrimp/internal/kernel"
+	"shrimp/internal/machine"
+	"shrimp/internal/nic"
+	"shrimp/internal/sim"
+	"shrimp/internal/trace"
+	"shrimp/internal/udmalib"
+)
+
+// ScenarioConfig is the seed-derived shape of one randomized run. Every
+// field is exported so Options.Override can bias a test toward specific
+// pressure (tiny RAM for eviction storms, deep queues for I4, a fast
+// cleaner for I3).
+type ScenarioConfig struct {
+	Nodes         int
+	RAMFrames     int
+	QueueDepth    int
+	SysQueueDepth int
+	Quantum       sim.Cycles
+	Window        sim.Cycles // lockstep horizon step = audit interval
+	ProcsPerNode  int
+	OpsPerProc    int
+	DeviceLatency sim.Cycles // scratch-buffer transfer latency
+	ScratchPages  uint32
+	NIPTPages     uint32
+
+	Cleaner       bool
+	CleanerPeriod sim.Cycles
+
+	FaultInject     bool
+	FaultRejectRate float64
+	FaultFailRate   float64
+
+	Kills    int // processes killed mid-run (never receivers)
+	MaxSteps int // liveness bound, in lockstep windows
+}
+
+// randomConfig draws a scenario shape from the master RNG. Ranges are
+// chosen so every mechanism gets regular exercise: small RAM forces
+// evictions against UDMA references (I4), non-zero quanta force context
+// switches mid-sequence (I1), the cleaner clears dirty bits against
+// live proxy mappings (I3), queue depths of 0 cover the basic machine.
+func randomConfig(rng *sim.RNG) ScenarioConfig {
+	cfg := ScenarioConfig{
+		Nodes:         1 + rng.Intn(3),
+		RAMFrames:     48 + rng.Intn(65),
+		QueueDepth:    []int{0, 2, 4, 8}[rng.Intn(4)],
+		Quantum:       sim.Cycles(1200 + rng.Intn(2800)),
+		Window:        sim.Cycles(4000 + rng.Intn(12000)),
+		ProcsPerNode:  2 + rng.Intn(3),
+		OpsPerProc:    3 + rng.Intn(6),
+		DeviceLatency: []sim.Cycles{0, 50, 2000, 20000}[rng.Intn(4)],
+		NIPTPages:     64,
+		MaxSteps:      60_000,
+	}
+	cfg.ScratchPages = uint32(2 * cfg.ProcsPerNode)
+	if cfg.QueueDepth > 0 && rng.Bool() {
+		cfg.SysQueueDepth = 2
+	}
+	if rng.Intn(3) == 0 {
+		cfg.Cleaner = true
+		cfg.CleanerPeriod = sim.Cycles(30_000 + rng.Intn(90_000))
+	}
+	if rng.Intn(3) == 0 {
+		cfg.FaultInject = true
+		cfg.FaultRejectRate = 0.02
+		cfg.FaultFailRate = 0.02
+	}
+	if rng.Intn(2) == 0 {
+		cfg.Kills = rng.Intn(3)
+	}
+	return cfg
+}
+
+// deriveConfig reports the scenario shape a seed produces, without
+// building it — tests use it to assert the sweep's mechanism coverage.
+func deriveConfig(seed uint64) ScenarioConfig {
+	return randomConfig(sim.NewRNG(seed))
+}
+
+const (
+	roleWorker = iota
+	roleSender
+	roleReceiver
+)
+
+type procInfo struct {
+	node int
+	p    *kernel.Proc
+	role int
+}
+
+type killPlan struct {
+	victim int // index into procs
+	step   int
+}
+
+// remotePlan tracks one exported receive window: which frames the
+// sender's NIPT names and what bytes the last *successful* send put in
+// each page. A page whose send errored (fault injection) or whose
+// sender was killed mid-transfer is tainted — its content is legally
+// unpredictable — and excluded from final verification.
+type remotePlan struct {
+	senderNode, recvNode int
+	pages                int
+	pfns                 []uint32
+	expect               [][]byte
+	tainted              []bool
+}
+
+type touchRec struct {
+	va      addr.VAddr
+	pattern []byte
+}
+
+type scenario struct {
+	seed    uint64
+	cfg     ScenarioConfig
+	opts    Options
+	cl      *cluster.Cluster
+	tracers []*trace.Tracer
+	scratch []*device.Buffer
+	// scratchFirst is each node's scratch device-proxy first page.
+	scratchFirst []uint32
+
+	step       int
+	violations []Violation
+	overflow   bool // violations beyond MaxViolations were dropped
+	trail      []trace.Event
+	trailNode  int
+
+	lastNow []sim.Cycles
+
+	procs []procInfo
+	kills []killPlan
+
+	remote      *remotePlan
+	windowReady bool
+	stopRecv    bool
+}
+
+// fail records a violation, capturing the node's event trail on the
+// first one.
+func (s *scenario) fail(node int, invariant, detail string) {
+	if len(s.violations) >= s.opts.MaxViolations {
+		s.overflow = true
+		return
+	}
+	if len(s.violations) == 0 {
+		s.trail = s.tracers[node].Tail(24)
+		s.trailNode = node
+	}
+	s.violations = append(s.violations, Violation{
+		Node: node, Step: s.step, Invariant: invariant, Detail: detail,
+	})
+}
+
+func (s *scenario) capped() bool {
+	return len(s.violations) >= s.opts.MaxViolations
+}
+
+// opError reports an unexpected operation error. With fault injection
+// on, hard errors are the scenario working as intended and are ignored;
+// without it, any op error other than a queue-full refusal (a
+// documented transient on the queued machine) is a finding.
+func (s *scenario) opError(node int, what string, err error) {
+	if err == nil || s.cfg.FaultInject || queueFull(err) {
+		return
+	}
+	s.fail(node, "op-error", what+": "+err.Error())
+}
+
+// queueFull reports whether err is the controller refusing a transfer
+// because its request queue is full — legal machine behavior the
+// scenario must tolerate (the op's verification is skipped).
+func queueFull(err error) bool {
+	var he *udmalib.HardError
+	return errors.As(err, &he) && he.Status.DeviceErr()&device.ErrQueueFull != 0
+}
+
+func buildScenario(seed uint64, opts Options) *scenario {
+	rng := sim.NewRNG(seed)
+	cfg := randomConfig(rng)
+	if opts.Override != nil {
+		opts.Override(&cfg)
+	}
+	s := &scenario{seed: seed, cfg: cfg, opts: opts, step: -1}
+
+	s.cl = cluster.New(cluster.Config{
+		Nodes: cfg.Nodes,
+		Machine: machine.Config{
+			RAMFrames: cfg.RAMFrames,
+			UDMA: core.Config{
+				QueueDepth:       cfg.QueueDepth,
+				SystemQueueDepth: cfg.SysQueueDepth,
+			},
+			Kernel: kernel.Config{Quantum: cfg.Quantum},
+		},
+		NIC:             nic.Config{NIPTPages: cfg.NIPTPages, PIOWindow: true},
+		Window:          cfg.Window,
+		FaultInject:     cfg.FaultInject,
+		FaultSeed:       seed,
+		FaultRejectRate: cfg.FaultRejectRate,
+		FaultFailRate:   cfg.FaultFailRate,
+	})
+
+	for i, n := range s.cl.Nodes {
+		tr := trace.New(n.Clock, 512)
+		n.SetTracer(tr)
+		s.cl.NICs[i].SetTracer(tr)
+		s.tracers = append(s.tracers, tr)
+		s.lastNow = append(s.lastNow, n.Clock.Now())
+
+		first := s.cl.NICs[i].Pages()
+		scratch := device.NewBuffer(fmt.Sprintf("scratch%d", i), cfg.ScratchPages, 1, cfg.DeviceLatency)
+		n.AttachDevice(scratch, first)
+		s.scratch = append(s.scratch, scratch)
+		s.scratchFirst = append(s.scratchFirst, first)
+
+		n.Kernel.SetTestHooks(opts.Hooks)
+		if cfg.Cleaner {
+			n.Kernel.StartCleaner(cfg.CleanerPeriod)
+		}
+	}
+
+	if cfg.Nodes >= 2 {
+		s.remote = &remotePlan{
+			senderNode: 0,
+			recvNode:   cfg.Nodes - 1,
+			pages:      2,
+		}
+		s.remote.expect = make([][]byte, s.remote.pages)
+		s.remote.tainted = make([]bool, s.remote.pages)
+	}
+
+	for i, n := range s.cl.Nodes {
+		for j := 0; j < cfg.ProcsPerNode; j++ {
+			role := roleWorker
+			if s.remote != nil && j == 0 {
+				if i == s.remote.senderNode {
+					role = roleSender
+				} else if i == s.remote.recvNode {
+					role = roleReceiver
+				}
+			}
+			// Decorrelated per-process stream: every process draws its
+			// op sequence independently of scenario-shape draws.
+			prng := sim.NewRNG(seed ^ (uint64(i+1)<<20|uint64(j+1))*0x9E3779B97F4A7C15)
+			p := n.Kernel.Spawn(fmt.Sprintf("n%dp%d", i, j), s.procBody(i, j, role, prng))
+			s.procs = append(s.procs, procInfo{node: i, p: p, role: role})
+		}
+	}
+
+	// Kill plan: victims drawn from non-receiver processes, fired at
+	// early window boundaries while transfer activity is high.
+	for k := 0; k < cfg.Kills; k++ {
+		victim := rng.Intn(len(s.procs))
+		if s.procs[victim].role == roleReceiver {
+			continue
+		}
+		s.kills = append(s.kills, killPlan{victim: victim, step: 1 + rng.Intn(40)})
+	}
+	return s
+}
+
+// runKills fires the kill plan entries due at this step. Kills happen
+// at window boundaries — between instructions, exactly when a real
+// kernel's signal delivery would preempt the victim.
+func (s *scenario) runKills(step int) {
+	for _, kp := range s.kills {
+		if kp.step != step {
+			continue
+		}
+		pi := s.procs[kp.victim]
+		if pi.p.Exited() {
+			continue
+		}
+		s.cl.Nodes[pi.node].Kernel.Kill(pi.p)
+		if pi.role == roleSender && s.remote != nil {
+			// The sender may die mid-transfer: every window page's
+			// content is now unpredictable.
+			for j := range s.remote.tainted {
+				s.remote.tainted[j] = true
+			}
+		}
+	}
+}
+
+// maybeStopReceivers releases the receiver's polling loop once every
+// other process has exited (no more senders can exist).
+func (s *scenario) maybeStopReceivers() {
+	if s.stopRecv {
+		return
+	}
+	for _, pi := range s.procs {
+		if pi.role != roleReceiver && !pi.p.Exited() {
+			return
+		}
+	}
+	s.stopRecv = true
+}
+
+// finalVerify runs the end-of-run conservation checks that need the
+// cluster fully drained: every un-tainted exported page must hold
+// exactly the bytes of the last successful remote send to it.
+func (s *scenario) finalVerify() {
+	rp := s.remote
+	if rp == nil || rp.pfns == nil {
+		return
+	}
+	ram := s.cl.Nodes[rp.recvNode].RAM
+	for j := 0; j < rp.pages; j++ {
+		if rp.tainted[j] || rp.expect[j] == nil {
+			continue
+		}
+		page, err := ram.Frame(rp.pfns[j])
+		if err != nil {
+			s.fail(rp.recvNode, "conservation", fmt.Sprintf("exported frame %d: %v", rp.pfns[j], err))
+			continue
+		}
+		if !bytes.Equal(page, rp.expect[j]) {
+			s.fail(rp.recvNode, "conservation",
+				fmt.Sprintf("exported page %d (frame %d) differs from last successful send (first diff at %d)",
+					j, rp.pfns[j], firstDiff(page, rp.expect[j])))
+		}
+	}
+}
+
+func firstDiff(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+// patternBytes fills n bytes from a splitmix-style stream so every op's
+// payload is unique and position-sensitive.
+func patternBytes(tag uint64, n int) []byte {
+	out := make([]byte, n)
+	x := tag
+	for i := range out {
+		x += 0x9E3779B97F4A7C15
+		z := x
+		z ^= z >> 30
+		z *= 0xBF58476D1CE4E5B9
+		z ^= z >> 27
+		out[i] = byte(z)
+	}
+	return out
+}
+
+// --- process programs -------------------------------------------------------
+
+// procBody returns the coroutine for one scenario process. Everything
+// it does is drawn from its private RNG, so the instruction stream for
+// (seed, node, index) is fixed regardless of scheduling.
+func (s *scenario) procBody(node, idx, role int, rng *sim.RNG) func(p *kernel.Proc) {
+	return func(p *kernel.Proc) {
+		if role == roleReceiver {
+			s.receiverBody(node, p)
+			return
+		}
+
+		d, err := udmalib.Open(p, s.scratch[node], true)
+		if err != nil {
+			s.opError(node, "open scratch", err)
+			return
+		}
+		nd, err := udmalib.Open(p, s.cl.Dev(node), true)
+		if err != nil {
+			s.opError(node, "open nic", err)
+			return
+		}
+		srcBuf, err := p.Alloc(2 * addr.PageSize)
+		if err != nil {
+			s.opError(node, "alloc", err)
+			return
+		}
+		// Disjoint scratch pages per process: conservation checks must
+		// never race a sibling's transfer to the same device page.
+		myPage := uint32(2*idx) % s.cfg.ScratchPages
+
+		var touched []touchRec
+		for op := 0; op < s.cfg.OpsPerProc; op++ {
+			pick := rng.Intn(100)
+			switch {
+			case role == roleSender && pick < 40:
+				s.opRemoteSend(node, p, nd, srcBuf, rng)
+			case pick < 55:
+				s.opLocalSend(node, p, d, srcBuf, myPage, rng, false)
+			case pick < 65:
+				s.opLocalSend(node, p, d, srcBuf, myPage, rng, true)
+			case pick < 75:
+				s.opLocalRecv(node, p, d, srcBuf, myPage, rng)
+			case pick < 85:
+				if len(touched) < 3 {
+					if rec, ok := s.opTouch(node, p, rng); ok {
+						touched = append(touched, rec)
+					}
+				} else {
+					p.Compute(sim.Cycles(200 + rng.Intn(3000)))
+				}
+			case pick < 90:
+				p.Sleep(sim.Cycles(500 + rng.Intn(5000)))
+			case pick < 94:
+				s.opStatusProbe(node, p, srcBuf, rng)
+			case pick < 97:
+				s.opPIOPoke(node, p, nd, rng)
+			default:
+				s.opDMAWrite(node, p, srcBuf, myPage, rng)
+			}
+		}
+		// Late re-verification: pages written long ago must still hold
+		// their bytes after every eviction/page-in/transfer since — the
+		// check that turns a broken I4 into a visible corruption.
+		for _, rec := range touched {
+			got, rerr := p.ReadBuf(rec.va, len(rec.pattern))
+			if rerr != nil {
+				s.opError(node, "re-read touched buffer", rerr)
+				continue
+			}
+			if !bytes.Equal(got, rec.pattern) {
+				s.fail(node, "memory",
+					fmt.Sprintf("buffer %#x corrupted (first diff at %d)", uint32(rec.va), firstDiff(got, rec.pattern)))
+			}
+		}
+	}
+}
+
+// receiverBody exports a pinned window for the sender's NIPT and then
+// idles until the run winds down; incoming deliberate updates land in
+// its frames with no CPU involvement, exactly as on SHRIMP.
+func (s *scenario) receiverBody(node int, p *kernel.Proc) {
+	rp := s.remote
+	k := s.cl.Nodes[node].Kernel
+	buf, err := p.Alloc(rp.pages * addr.PageSize)
+	if err != nil {
+		s.opError(node, "receiver alloc", err)
+		return
+	}
+	pfns, err := udmalib.ExportBuffer(k, p, buf, rp.pages)
+	if err != nil {
+		s.opError(node, "export buffer", err)
+		return
+	}
+	if err := udmalib.MapSendWindow(s.cl.NICs[rp.senderNode], 0, node, pfns); err != nil {
+		s.opError(node, "map send window", err)
+		return
+	}
+	rp.pfns = pfns
+	s.windowReady = true
+	for !s.stopRecv {
+		p.Sleep(1500)
+	}
+}
+
+// opLocalSend transfers a random payload to this process's private
+// scratch pages and verifies the device holds exactly those bytes.
+func (s *scenario) opLocalSend(node int, p *kernel.Proc, d *udmalib.Dev,
+	srcBuf addr.VAddr, myPage uint32, rng *sim.RNG, queued bool) {
+	n := 64 + rng.Intn(2*addr.PageSize-64)
+	pattern := patternBytes(rng.Uint64(), n)
+	if err := p.WriteBuf(srcBuf, pattern); err != nil {
+		s.opError(node, "send fill", err)
+		return
+	}
+	devOff := myPage * addr.PageSize
+	var err error
+	if queued && s.cfg.QueueDepth > 0 {
+		err = d.QueuedSend(srcBuf, devOff, n)
+	} else {
+		err = d.Send(srcBuf, devOff, n)
+	}
+	if err != nil {
+		s.opError(node, "send", err)
+		return
+	}
+	if got := s.scratch[node].Bytes(int(devOff), n); !bytes.Equal(got, pattern) {
+		s.fail(node, "conservation",
+			fmt.Sprintf("scratch page %d has wrong bytes after %dB send (first diff at %d)",
+				myPage, n, firstDiff(got, pattern)))
+	}
+}
+
+// opLocalRecv runs the device→memory direction and verifies the bytes
+// that arrived in process memory.
+func (s *scenario) opLocalRecv(node int, p *kernel.Proc, d *udmalib.Dev,
+	dstBuf addr.VAddr, myPage uint32, rng *sim.RNG) {
+	n := 64 + rng.Intn(addr.PageSize-64)
+	devOff := (myPage + 1) * addr.PageSize
+	pattern := patternBytes(rng.Uint64(), n)
+	s.scratch[node].SetBytes(int(devOff), pattern)
+	if err := d.Recv(dstBuf, devOff, n); err != nil {
+		s.opError(node, "recv", err)
+		return
+	}
+	got, err := p.ReadBuf(dstBuf, n)
+	if err != nil {
+		s.opError(node, "recv read-back", err)
+		return
+	}
+	if !bytes.Equal(got, pattern) {
+		s.fail(node, "conservation",
+			fmt.Sprintf("recv of %dB from scratch page %d delivered wrong bytes (first diff at %d)",
+				n, myPage+1, firstDiff(got, pattern)))
+	}
+}
+
+// opTouch allocates fresh pages and fills them — paging pressure that
+// forces evictions against whatever the UDMA hardware holds.
+func (s *scenario) opTouch(node int, p *kernel.Proc, rng *sim.RNG) (touchRec, bool) {
+	pages := 1 + rng.Intn(3)
+	va, err := p.Alloc(pages * addr.PageSize)
+	if err != nil {
+		s.opError(node, "touch alloc", err)
+		return touchRec{}, false
+	}
+	pattern := patternBytes(rng.Uint64(), pages*addr.PageSize)
+	if err := p.WriteBuf(va, pattern); err != nil {
+		s.opError(node, "touch fill", err)
+		return touchRec{}, false
+	}
+	got, err := p.ReadBuf(va, len(pattern))
+	if err != nil {
+		s.opError(node, "touch read-back", err)
+		return touchRec{}, false
+	}
+	if !bytes.Equal(got, pattern) {
+		s.fail(node, "memory", fmt.Sprintf("freshly written buffer %#x reads back wrong", uint32(va)))
+		return touchRec{}, false
+	}
+	return touchRec{va: va, pattern: pattern}, true
+}
+
+// opStatusProbe exercises the state machine's reject edges: an
+// abandoned Store (cleared by the next context switch's Inval — I1), a
+// mem→mem BadLoad, and a plain status poll.
+func (s *scenario) opStatusProbe(node int, p *kernel.Proc, srcBuf addr.VAddr, rng *sim.RNG) {
+	if err := p.Store(addr.VProxy(srcBuf), uint32(64+rng.Intn(256))); err != nil {
+		s.opError(node, "probe store", err)
+		return
+	}
+	if rng.Bool() {
+		// Abandon the sequence: the DestLoaded latch must be cleared by
+		// I1 before any other process's LOAD can consume it.
+		return
+	}
+	if _, err := p.Load(addr.VProxy(srcBuf + addr.PageSize)); err != nil {
+		s.opError(node, "probe badload", err)
+		return
+	}
+	if _, err := p.Load(addr.VProxy(srcBuf)); err != nil {
+		s.opError(node, "probe poll", err)
+	}
+}
+
+// opPIOPoke drives the NIC's memory-mapped FIFO registers at an
+// unmapped NIPT entry — the packet is dropped by the board, so the op
+// exercises the PIO path with no memory side effects.
+func (s *scenario) opPIOPoke(node int, p *kernel.Proc, nd *udmalib.Dev, rng *sim.RNG) {
+	pioBase := nd.Base() + addr.VAddr(s.cfg.NIPTPages*addr.PageSize)
+	invalidEntry := s.cfg.NIPTPages - 1
+	if err := p.Store(pioBase+nic.PIORegDest, invalidEntry<<12); err != nil {
+		s.opError(node, "pio dest", err)
+		return
+	}
+	words := 1 + rng.Intn(4)
+	for w := 0; w < words; w++ {
+		if err := p.Store(pioBase+nic.PIORegData, uint32(rng.Uint64())); err != nil {
+			s.opError(node, "pio data", err)
+			return
+		}
+	}
+	if err := p.Store(pioBase+nic.PIORegLaunch, 1); err != nil {
+		s.opError(node, "pio launch", err)
+		return
+	}
+	if _, err := p.Load(pioBase + nic.PIORegStatus); err != nil {
+		s.opError(node, "pio status", err)
+	}
+}
+
+// opDMAWrite runs the traditional kernel-initiated path against the
+// scratch device, so syscall pinning and the system queue interleave
+// with user-level UDMA traffic.
+func (s *scenario) opDMAWrite(node int, p *kernel.Proc, srcBuf addr.VAddr, myPage uint32, rng *sim.RNG) {
+	n := 64 + rng.Intn(addr.PageSize-64)
+	pattern := patternBytes(rng.Uint64(), n)
+	if err := p.WriteBuf(srcBuf, pattern); err != nil {
+		s.opError(node, "dma fill", err)
+		return
+	}
+	devPA := addr.DevProxy(s.scratchFirst[node]+myPage, 0)
+	if err := p.DMAWrite(srcBuf, devPA, n, kernel.DMAOptions{}); err != nil {
+		s.opError(node, "dma write", err)
+		return
+	}
+	devOff := int(myPage) * addr.PageSize
+	if got := s.scratch[node].Bytes(devOff, n); !bytes.Equal(got, pattern) {
+		s.fail(node, "conservation",
+			fmt.Sprintf("scratch page %d has wrong bytes after %dB DMAWrite (first diff at %d)",
+				myPage, n, firstDiff(got, pattern)))
+	}
+}
+
+// opRemoteSend performs a deliberate update: one full page through the
+// sender NIC into the receiver's exported frame. The page is marked
+// tainted across the transfer so a mid-send kill or injected fault
+// disqualifies it from final verification instead of failing it.
+func (s *scenario) opRemoteSend(node int, p *kernel.Proc, nd *udmalib.Dev,
+	srcBuf addr.VAddr, rng *sim.RNG) {
+	rp := s.remote
+	for waits := 0; !s.windowReady; waits++ {
+		if waits > 200 {
+			return // receiver never exported; nothing to send into
+		}
+		p.Sleep(800)
+	}
+	j := rng.Intn(rp.pages)
+	pattern := patternBytes(rng.Uint64(), addr.PageSize)
+	if err := p.WriteBuf(srcBuf, pattern); err != nil {
+		s.opError(node, "remote fill", err)
+		return
+	}
+	rp.tainted[j] = true
+	if err := nd.Send(srcBuf, udmalib.WindowOff(uint32(j), 0), addr.PageSize); err != nil {
+		s.opError(node, "remote send", err)
+		return // page stays tainted: delivery state unknown
+	}
+	rp.expect[j] = pattern
+	rp.tainted[j] = false
+}

@@ -1,0 +1,164 @@
+// Package simcheck is the deterministic simulation checker: it
+// generates randomized multi-node scenarios from a seed — interleaved
+// UDMA transfers, context switches, paging pressure, faulty-device
+// injection, PIO traffic, process kills — and audits the paper's four
+// kernel invariants (plus end-to-end byte conservation and monotonic
+// simulated time) after every lockstep window. Because every source of
+// nondeterminism flows from sim.RNG and the event clocks, any failure
+// reproduces exactly from its seed:
+//
+//	go test ./internal/simcheck -run TestSimCheck -simcheck.seed=N
+//
+// The auditor observes only: it reads kernel frame tables, page tables
+// and controller reference counts between windows (when no process is
+// mid-instruction) and never advances a clock, so checked and
+// unchecked runs are cycle-identical.
+package simcheck
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+
+	"shrimp/internal/kernel"
+	"shrimp/internal/trace"
+)
+
+// Violation is one detected invariant breach.
+type Violation struct {
+	Node      int
+	Step      int    // lockstep window index (-1: before/after stepping)
+	Invariant string // "I1".."I4", "conservation", "memory", "refcount", ...
+	Detail    string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("node %d step %d: %s: %s", v.Node, v.Step, v.Invariant, v.Detail)
+}
+
+// Options tunes a checker run.
+type Options struct {
+	// Hooks deliberately break the kernel under test — the checker's own
+	// tests use them to prove the auditor catches each violation class.
+	Hooks kernel.TestHooks
+	// Override mutates the seed-derived scenario configuration before
+	// the cluster is built (bias tests toward specific pressure).
+	Override func(*ScenarioConfig)
+	// MaxViolations stops the run after this many findings (default 8);
+	// one broken invariant tends to trip the auditor every window.
+	MaxViolations int
+}
+
+// Report is the outcome of one seeded run.
+type Report struct {
+	Seed       uint64
+	Cfg        ScenarioConfig
+	Steps      int // lockstep windows executed
+	Violations []Violation
+	// Trail is the event-ring slice of TrailNode captured at the first
+	// violation — the compact repro context a builder reads first.
+	Trail     []trace.Event
+	TrailNode int
+	// Fingerprint digests final clocks and hardware/kernel counters;
+	// two runs of the same seed must produce the same fingerprint.
+	Fingerprint uint64
+}
+
+// Failed reports whether any violation was detected.
+func (r *Report) Failed() bool { return len(r.Violations) > 0 }
+
+// ReproCommand is the one-command reproduction for this seed.
+func (r *Report) ReproCommand() string {
+	return fmt.Sprintf("go test ./internal/simcheck -run TestSimCheck -simcheck.seed=%d", r.Seed)
+}
+
+// String renders the report; for failures it includes every violation,
+// the event trail and the repro command.
+func (r *Report) String() string {
+	var b strings.Builder
+	if !r.Failed() {
+		fmt.Fprintf(&b, "simcheck seed %d: ok (%d nodes, %d steps, fp %016x)",
+			r.Seed, r.Cfg.Nodes, r.Steps, r.Fingerprint)
+		return b.String()
+	}
+	fmt.Fprintf(&b, "simcheck seed %d: FAIL (%d violations in %d steps)\n",
+		r.Seed, len(r.Violations), r.Steps)
+	for _, v := range r.Violations {
+		fmt.Fprintf(&b, "  %s\n", v)
+	}
+	if len(r.Trail) > 0 {
+		fmt.Fprintf(&b, "trail (node %d, last %d events):\n", r.TrailNode, len(r.Trail))
+		for _, e := range r.Trail {
+			fmt.Fprintf(&b, "  %s\n", e)
+		}
+	}
+	fmt.Fprintf(&b, "repro: %s", r.ReproCommand())
+	return b.String()
+}
+
+// Run executes one seeded scenario under the online auditor and
+// returns its report.
+func Run(seed uint64, opts Options) *Report {
+	if opts.MaxViolations <= 0 {
+		opts.MaxViolations = 8
+	}
+	s := buildScenario(seed, opts)
+	defer s.cl.Shutdown()
+
+	horizon := s.cl.MinNow() + s.cfg.Window
+	step := 0
+	for ; ; step++ {
+		s.step = step
+		s.runKills(step)
+		progress, err := s.cl.Step(horizon)
+		if err != nil {
+			s.fail(0, "runtime", err.Error())
+		}
+		s.audit(step)
+		if s.capped() {
+			break
+		}
+		if s.cl.AllIdle() {
+			s.cl.DrainHardware()
+			s.audit(step)
+			break
+		}
+		s.maybeStopReceivers()
+		if step >= s.cfg.MaxSteps {
+			s.fail(0, "liveness", fmt.Sprintf("no completion after %d windows", step))
+			break
+		}
+		// Overshot clocks make no-op windows; only call it a deadlock
+		// once the horizon covers every node's clock and still nothing
+		// runs and nothing is scheduled.
+		if !progress && !s.cl.AnyPending() && horizon >= s.cl.MaxNow() {
+			s.fail(0, "liveness", "cluster deadlock: no progress and no pending events")
+			break
+		}
+		horizon += s.cfg.Window
+	}
+	s.finalVerify()
+
+	return &Report{
+		Seed:        seed,
+		Cfg:         s.cfg,
+		Steps:       step + 1,
+		Violations:  s.violations,
+		Trail:       s.trail,
+		TrailNode:   s.trailNode,
+		Fingerprint: s.fingerprint(),
+	}
+}
+
+// fingerprint digests final simulated time and the counters of every
+// layer; any divergence between two runs of one seed shows up here.
+func (s *scenario) fingerprint() uint64 {
+	h := fnv.New64a()
+	for i, n := range s.cl.Nodes {
+		fmt.Fprintf(h, "n%d clock=%d kstats=%+v ustats=%+v nic=%+v",
+			i, n.Clock.Now(), n.Kernel.Stats(), n.UDMA.Stats(), s.cl.NICs[i].Stats())
+		w, r := s.scratch[i].Counts()
+		fmt.Fprintf(h, " scratch=%d/%d", w, r)
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,75 @@
+package simcheck
+
+import (
+	"flag"
+	"testing"
+)
+
+// seedFlag reruns exactly one seed — the one-command repro every
+// failure report prints.
+var seedFlag = flag.Uint64("simcheck.seed", 0, "run only this simcheck seed (0 = full sweep)")
+
+// TestSimCheck sweeps randomized scenarios under the online auditor:
+// 64 seeds in -short mode, 256 otherwise. With -simcheck.seed=N it runs
+// only seed N, which is how a reported failure is reproduced.
+func TestSimCheck(t *testing.T) {
+	if *seedFlag != 0 {
+		rep := Run(*seedFlag, Options{})
+		t.Log(rep.String())
+		if rep.Failed() {
+			t.Fatalf("seed %d failed", rep.Seed)
+		}
+		return
+	}
+	seeds := uint64(256)
+	if testing.Short() {
+		seeds = 64
+	}
+	for seed := uint64(1); seed <= seeds; seed++ {
+		rep := Run(seed, Options{})
+		if rep.Failed() {
+			t.Fatalf("\n%s", rep.String())
+		}
+	}
+}
+
+// TestSimCheckDeterminism proves the repro contract: two runs of one
+// seed produce identical fingerprints (final clocks plus every
+// hardware and kernel counter).
+func TestSimCheckDeterminism(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 23, 101} {
+		a := Run(seed, Options{})
+		b := Run(seed, Options{})
+		if a.Fingerprint != b.Fingerprint {
+			t.Errorf("seed %d: fingerprints differ: %016x vs %016x", seed, a.Fingerprint, b.Fingerprint)
+		}
+		if a.Failed() != b.Failed() || len(a.Violations) != len(b.Violations) {
+			t.Errorf("seed %d: runs disagree on violations: %d vs %d",
+				seed, len(a.Violations), len(b.Violations))
+		}
+	}
+}
+
+// TestSimCheckCoversMechanisms checks the sweep actually exercises the
+// machinery the invariants guard: across the -short seed range the
+// scenarios must include multi-node clusters, queued controllers, fault
+// injection, cleaners and kills.
+func TestSimCheckCoversMechanisms(t *testing.T) {
+	var multi, queued, faulty, cleaner, kills bool
+	for seed := uint64(1); seed <= 64; seed++ {
+		cfg := deriveConfig(seed)
+		multi = multi || cfg.Nodes > 1
+		queued = queued || cfg.QueueDepth > 0
+		faulty = faulty || cfg.FaultInject
+		cleaner = cleaner || cfg.Cleaner
+		kills = kills || cfg.Kills > 0
+	}
+	for name, ok := range map[string]bool{
+		"multi-node": multi, "queued": queued, "fault-inject": faulty,
+		"cleaner": cleaner, "kills": kills,
+	} {
+		if !ok {
+			t.Errorf("seed sweep never produced a %s scenario", name)
+		}
+	}
+}

@@ -180,6 +180,17 @@ func (t *Tracer) Events() []Event {
 	return out
 }
 
+// Tail returns the newest n buffered events, oldest first (the compact
+// event-trail slice failure reports embed). n <= 0 or n larger than the
+// buffered window returns everything buffered.
+func (t *Tracer) Tail(n int) []Event {
+	evs := t.Events()
+	if n <= 0 || n >= len(evs) {
+		return evs
+	}
+	return evs[len(evs)-n:]
+}
+
 // Total returns how many events were recorded (including overwritten).
 func (t *Tracer) Total() uint64 {
 	if t == nil {
