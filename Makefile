@@ -2,7 +2,7 @@ GO ?= go
 GOFMT ?= gofmt
 FUZZTIME ?= 10s
 
-.PHONY: all build vet fmt test race check bench experiments faults fuzz simcheck cover
+.PHONY: all build vet fmt test race check bench experiments faults lossy fuzz simcheck cover
 
 all: check
 
@@ -38,6 +38,12 @@ experiments:
 
 faults:
 	$(GO) run ./cmd/shrimpsim -scenario faults
+
+# lossy runs the lossy-wire sweep (E13): seeded drop/corrupt/dup/
+# reorder against the NIC's reliable delivery protocol, twice, with the
+# outputs compared bit-exactly.
+lossy:
+	$(GO) run ./cmd/shrimpsim -scenario lossy
 
 # fuzz gives each native fuzz target a short budget (override with
 # FUZZTIME=5m for a longer soak). Each target must be fuzzed alone:

@@ -9,6 +9,7 @@
 //	shrimpsim -scenario share       # untrusting processes share the device
 //	shrimpsim -scenario paging      # UDMA under memory pressure (I2/I4)
 //	shrimpsim -scenario faults      # injected faults, per-transfer recovery
+//	shrimpsim -scenario lossy       # lossy wire vs the reliable delivery protocol
 //	shrimpsim -scenario contention  # queued senders: latency under load
 //	shrimpsim -scenario fuzz        # randomized run under the invariant auditor
 //	shrimpsim -scenario fuzz -seed 7 -count 100
@@ -48,7 +49,7 @@ import (
 
 func main() {
 	var (
-		scenario   = flag.String("scenario", "send", "send | cluster | share | paging | autoupdate | faults | contention | fuzz")
+		scenario   = flag.String("scenario", "send", "send | cluster | share | paging | autoupdate | faults | lossy | contention | fuzz")
 		nodes      = flag.Int("nodes", 4, "cluster scenario: node count")
 		size       = flag.Int("size", 4096, "message size in bytes")
 		senders    = flag.Int("senders", 4, "share/contention scenarios: processes")
@@ -77,6 +78,8 @@ func main() {
 		err = scenarioAutoUpdate(o)
 	case "faults":
 		err = scenarioFaults(*seed)
+	case "lossy":
+		err = scenarioLossy(*seed)
 	case "contention":
 		err = scenarioContention(*senders, *size, o)
 	case "fuzz":
@@ -419,6 +422,63 @@ func scenarioFaults(seed uint64) error {
 	fmt.Println("\nsecond run with the same seed reproduced every row exactly")
 	if !res.Passed() {
 		return fmt.Errorf("fault-recovery checks failed")
+	}
+	return nil
+}
+
+// scenarioLossy runs the lossy-wire sweep (E13): a two-node cluster
+// whose backplane drops, corrupts, duplicates and reorders packets at
+// seeded rates while the NIC's reliability sublayer (seq/ACK/CRC/
+// retransmit/credits) recovers underneath. Like the faults scenario it
+// runs the sweep twice and insists the rendered tables match
+// bit-exactly — loss included, the run is a pure function of the seed.
+func scenarioLossy(seed uint64) error {
+	if seed == experiments.FaultSeed {
+		seed = experiments.LossySeed // remap the faults-scenario default
+	}
+	fmt.Printf("# lossy wire (seed %#x): drop/corrupt/dup/reorder vs seq/ACK/retransmit/CRC\n", seed)
+	run := func() (*experiments.Result, string, error) {
+		res, err := experiments.RunLossyWireSeeded(seed)
+		if err != nil {
+			return nil, "", err
+		}
+		var sb strings.Builder
+		for _, t := range res.Tables {
+			t.Render(&sb)
+		}
+		return res, sb.String(), nil
+	}
+	res, out1, err := run()
+	if err != nil {
+		return err
+	}
+	fmt.Print(out1)
+	fmt.Println()
+	for _, c := range res.Checks {
+		mark := "PASS"
+		if !c.Pass {
+			mark = "FAIL"
+		}
+		fmt.Printf("  [%s] %s", mark, c.Name)
+		if c.Detail != "" {
+			fmt.Printf(" — %s", c.Detail)
+		}
+		fmt.Println()
+	}
+	for _, note := range res.Notes {
+		fmt.Printf("  note: %s\n", note)
+	}
+
+	_, out2, err := run()
+	if err != nil {
+		return err
+	}
+	if out1 != out2 {
+		return fmt.Errorf("same seed produced different runs:\n--- first\n%s--- second\n%s", out1, out2)
+	}
+	fmt.Println("\nsecond run with the same seed reproduced every row exactly")
+	if !res.Passed() {
+		return fmt.Errorf("lossy-wire checks failed")
 	}
 	return nil
 }

@@ -48,6 +48,17 @@ type Config struct {
 	FaultSeed       uint64
 	FaultRejectRate float64
 	FaultFailRate   float64
+	// FaultEveryNth arms device.Faulty's deterministic periodic mode on
+	// every wrapped NIC (seeded from FaultSeed and the node ID) instead
+	// of hand-placed schedules: every Nth DMA completion fails. Zero
+	// leaves the periodic channel off. Requires FaultInject.
+	FaultEveryNth int
+
+	// Fault perturbs the backplane itself: drops, duplicates, late
+	// deliveries, corruption and link flaps, all derived from Fault.Seed
+	// (see interconnect.FaultPlan). Enable NIC.Reliability alongside it
+	// or packets will be silently lost.
+	Fault interconnect.FaultPlan
 
 	// Metrics attaches a telemetry registry to every node (bus, DMA
 	// engine, UDMA controller, kernel, NIC), each under its node=<id>
@@ -102,6 +113,9 @@ func New(cfg Config) *Cluster {
 		window:    window,
 		metrics:   cfg.Metrics,
 	}
+	if cfg.Fault.Enabled() {
+		c.Backplane.SetFaultPlan(cfg.Fault)
+	}
 	for i := 0; i < cfg.Nodes; i++ {
 		mcfg := cfg.Machine
 		mcfg.Costs = costs
@@ -118,6 +132,9 @@ func New(cfg Config) *Cluster {
 			// node ID so nodes do not fault in lockstep.
 			faulty.InjectRates(sim.NewRNG(cfg.FaultSeed^(uint64(i+1)*0x9E3779B97F4A7C15)),
 				cfg.FaultRejectRate, cfg.FaultFailRate)
+			if cfg.FaultEveryNth > 0 {
+				faulty.InjectEveryNth(cfg.FaultSeed^uint64(i+1), 0, cfg.FaultEveryNth)
+			}
 			dev = faulty
 		}
 		node.AttachDevice(dev, 0)
@@ -195,16 +212,25 @@ func (c *Cluster) Window() sim.Cycles { return c.window }
 
 // DrainHardware fires every remaining scheduled event on every node
 // (in-flight transfers, packets, receive DMAs, flush timers) once all
-// software has exited. Events fired on one node may schedule events on
-// another, so sweep until the whole cluster is quiescent.
+// software has exited. The nodes drain as one merged event loop: each
+// round advances every clock to the globally-earliest pending event, so
+// cross-node causality holds — a retransmit timer on one node cannot
+// fire ahead of the ACK another node sends earlier in simulated time
+// (a per-node RunUntilIdle sweep would run one node arbitrarily far
+// ahead and make the reliability layer retransmit spuriously at drain).
 func (c *Cluster) DrainHardware() {
 	for {
-		fired := 0
+		next := sim.Forever
 		for _, n := range c.Nodes {
-			fired += n.Clock.RunUntilIdle()
+			if at, ok := n.Clock.NextEventAt(); ok && at < next {
+				next = at
+			}
 		}
-		if fired == 0 {
+		if next == sim.Forever {
 			return
+		}
+		for _, n := range c.Nodes {
+			n.Clock.AdvanceTo(next)
 		}
 	}
 }
@@ -266,6 +292,7 @@ func (c *Cluster) PublishRollup() {
 		return
 	}
 	var pktsSent, bytesSent, pktsRecv, bytesRecv, drops uint64
+	var retrans, retransBytes, creditStalls, deliveryFails uint64
 	for i, n := range c.Nodes {
 		c.Nodes[i].Metrics.Gauge("node_clock_cycles").Set(int64(n.Clock.Now()))
 		s := c.NICs[i].Stats()
@@ -274,6 +301,10 @@ func (c *Cluster) PublishRollup() {
 		pktsRecv += s.PacketsReceived
 		bytesRecv += s.BytesReceived
 		drops += s.RecvDrops
+		retrans += s.Retransmits
+		retransBytes += s.RetransBytes
+		creditStalls += s.CreditStalls
+		deliveryFails += s.DeliveryFailures
 	}
 	root := c.metrics.Scope()
 	root.Gauge("cluster_nodes").Set(int64(len(c.Nodes)))
@@ -283,6 +314,14 @@ func (c *Cluster) PublishRollup() {
 	root.Gauge("cluster_packets_recv").Set(int64(pktsRecv))
 	root.Gauge("cluster_bytes_recv").Set(int64(bytesRecv))
 	root.Gauge("cluster_recv_drops").Set(int64(drops))
+	root.Gauge("cluster_retransmits").Set(int64(retrans))
+	root.Gauge("cluster_retrans_bytes").Set(int64(retransBytes))
+	root.Gauge("cluster_credit_stalls").Set(int64(creditStalls))
+	root.Gauge("cluster_delivery_failures").Set(int64(deliveryFails))
+	fs := c.Backplane.FaultStats()
+	root.Gauge("cluster_wire_drops").Set(int64(fs.Drops + fs.FlapDrops))
+	root.Gauge("cluster_wire_dups").Set(int64(fs.Dups))
+	root.Gauge("cluster_wire_corrupts").Set(int64(fs.Corrupts))
 }
 
 // AnyPending reports whether any node has scheduled events outstanding.

@@ -32,6 +32,11 @@ type Faulty struct {
 	rejectP float64
 	failP   float64
 
+	// Periodic injection (see InjectEveryNth).
+	rejectN, failN         int
+	rejectPhase, failPhase uint64
+	checkOps, dataOps      uint64
+
 	rejected uint64
 	failed   uint64
 }
@@ -47,6 +52,24 @@ func NewFaulty(inner Device) *Faulty { return &Faulty{Inner: inner} }
 // pin a specific fault on top of a background rate.
 func (f *Faulty) InjectRates(rng *sim.RNG, rejectP, failP float64) {
 	f.rng, f.rejectP, f.failP = rng, rejectP, failP
+}
+
+// InjectEveryNth arms fully deterministic periodic injection: every
+// rejectN-th CheckTransfer is rejected and every failN-th Write/Read
+// fails at completion, with the phase of each period derived from seed
+// (so different seeds fault different ops without any hand-placed
+// schedule — exactly what simcheck's randomized scenarios need). Zero
+// disables a channel. One-shot counters still take precedence; periodic
+// injection takes precedence over rate-based.
+func (f *Faulty) InjectEveryNth(seed uint64, rejectN, failN int) {
+	f.rejectN, f.failN = rejectN, failN
+	if rejectN > 0 {
+		f.rejectPhase = seed % uint64(rejectN)
+	}
+	if failN > 0 {
+		f.failPhase = (seed >> 17) % uint64(failN)
+	}
+	f.checkOps, f.dataOps = 0, 0
 }
 
 // Name implements Device.
@@ -65,6 +88,18 @@ func (f *Faulty) CheckTransfer(da DevAddr, n int, toDevice bool) ErrBits {
 			bits = ErrBounds
 		}
 		return bits
+	}
+	if f.rejectN > 0 {
+		op := f.checkOps
+		f.checkOps++
+		if op%uint64(f.rejectN) == f.rejectPhase {
+			f.rejected++
+			bits := f.RejectBits
+			if bits == 0 {
+				bits = ErrBounds
+			}
+			return bits
+		}
 	}
 	if f.rng != nil && f.rejectP > 0 && f.rng.Float64() < f.rejectP {
 		f.rejected++
@@ -103,6 +138,14 @@ func (f *Faulty) injectFail() bool {
 		f.FailNext--
 		f.failed++
 		return true
+	}
+	if f.failN > 0 {
+		op := f.dataOps
+		f.dataOps++
+		if op%uint64(f.failN) == f.failPhase {
+			f.failed++
+			return true
+		}
 	}
 	if f.rng != nil && f.failP > 0 && f.rng.Float64() < f.failP {
 		f.failed++

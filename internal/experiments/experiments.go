@@ -78,6 +78,7 @@ var registry = map[string]struct {
 	"e10": {"Section 8: four-node prototype, aggregate bandwidth", RunPrototype},
 	"e11": {"Extension: automatic update vs deliberate update", RunAutoVsDeliberate},
 	"e12": {"Extension: fault injection and per-transfer error recovery", RunFaultInjection},
+	"e13": {"Extension: lossy wire, reliable delivery — goodput and latency vs loss", RunLossyWire},
 }
 
 // IDs returns the registered experiment ids in order.

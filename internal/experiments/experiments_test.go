@@ -40,10 +40,10 @@ func TestAllExperimentsPass(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 12 {
-		t.Fatalf("registry has %d experiments, want 12: %v", len(ids), ids)
+	if len(ids) != 13 {
+		t.Fatalf("registry has %d experiments, want 13: %v", len(ids), ids)
 	}
-	if ids[0] != "e1" || ids[len(ids)-1] != "e12" {
+	if ids[0] != "e1" || ids[len(ids)-1] != "e13" {
 		t.Fatalf("ids out of order: %v", ids)
 	}
 	for _, id := range ids {

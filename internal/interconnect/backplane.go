@@ -15,14 +15,48 @@ import (
 
 	"shrimp/internal/addr"
 	"shrimp/internal/sim"
+	"shrimp/internal/trace"
 )
+
+// PacketKind distinguishes data-bearing packets from the reliability
+// layer's control traffic. The zero value is PktData so pre-reliability
+// code (and tests) that build bare packets keep working.
+type PacketKind uint8
+
+const (
+	PktData PacketKind = iota // deliberate-update payload
+	PktAck                    // cumulative acknowledgment, no payload
+)
+
+func (k PacketKind) String() string {
+	if k == PktAck {
+		return "ack"
+	}
+	return "data"
+}
 
 // Packet is one deliberate-update message on the wire: a destination
 // physical memory address on the destination node plus payload bytes.
+// The Kind/Epoch/Seq/Ack/Window/CRC fields are the reliable-delivery
+// header added by internal/nic; they ride along untouched (except by
+// deliberate corruption) and are zero when reliability is disabled.
 type Packet struct {
 	Src, Dst int
 	DestAddr addr.PAddr // physical memory address on the destination node
 	Payload  []byte
+
+	Kind   PacketKind
+	Epoch  uint32 // connection incarnation; bumped when a link is declared broken
+	Seq    uint64 // per-(src,dst) data sequence number, first packet is 1
+	Ack    uint64 // cumulative: every seq <= Ack has been delivered
+	Window uint32 // receiver credits: data packets it can buffer beyond Ack
+	CRC    uint32 // IEEE CRC32 over header fields + payload
+
+	// Retrans marks a sender retransmission (for wire accounting); Dup
+	// marks a fabric-created duplicate delivery.
+	Retrans bool
+	Dup     bool
+
 	// LaunchedAt is the sender-clock time the packet entered the
 	// network; ArrivedAt is filled in (receiver clock) at delivery.
 	LaunchedAt sim.Cycles
@@ -48,8 +82,15 @@ type Backplane struct {
 
 	injectFree map[int]sim.Cycles // per-sender outgoing FIFO free time
 
-	packets uint64
-	bytes   uint64
+	packets      uint64
+	bytes        uint64
+	retransPkts  uint64
+	retransBytes uint64
+
+	plan    FaultPlan
+	links   map[[2]int]*linkFault
+	fstats  FaultStats
+	tracers map[int]*trace.Tracer // per-sender wire anomaly tracers
 }
 
 // New returns an empty backplane using the given cost model for link
@@ -62,8 +103,34 @@ func New(costs *sim.CostModel) *Backplane {
 		costs:      costs,
 		eps:        make(map[int]Endpoint),
 		injectFree: make(map[int]sim.Cycles),
+		links:      make(map[[2]int]*linkFault),
+		tracers:    make(map[int]*trace.Tracer),
 	}
 }
+
+// SetFaultPlan installs (or, with the zero plan, clears) the wire fault
+// model. Call before traffic starts: per-link RNG streams reset.
+func (b *Backplane) SetFaultPlan(plan FaultPlan) {
+	b.plan = plan
+	b.links = make(map[[2]int]*linkFault)
+}
+
+// Plan returns the installed fault plan.
+func (b *Backplane) Plan() FaultPlan { return b.plan }
+
+// SetTracer attaches a tracer recording wire anomalies (drops, dups,
+// corruptions, delays, flaps) for packets *sent by* the given node, on
+// that node's clock. nil detaches.
+func (b *Backplane) SetTracer(node int, tr *trace.Tracer) {
+	if tr == nil {
+		delete(b.tracers, node)
+		return
+	}
+	b.tracers[node] = tr
+}
+
+// FaultStats returns cumulative fault-plan activity.
+func (b *Backplane) FaultStats() FaultStats { return b.fstats }
 
 // Attach registers an endpoint. Attaching two endpoints with the same
 // node ID is a wiring bug.
@@ -92,8 +159,10 @@ func (b *Backplane) Hops(src, dst int) sim.Cycles {
 
 // Send launches a packet from its source endpoint. It serializes with
 // the sender's earlier packets (one outgoing FIFO), then flies across
-// the mesh and is delivered on the receiver's clock. Send returns the
-// sender-clock time at which the outgoing FIFO is free again.
+// the mesh and is delivered on the receiver's clock — unless the fault
+// plan drops, duplicates, delays or corrupts it in flight. Send returns
+// the sender-clock time at which the outgoing FIFO is free again
+// (dropped packets still occupied the FIFO on their way out).
 func (b *Backplane) Send(pkt *Packet) sim.Cycles {
 	src, ok := b.eps[pkt.Src]
 	if !ok {
@@ -118,9 +187,55 @@ func (b *Backplane) Send(pkt *Packet) sim.Cycles {
 	pkt.LaunchedAt = start
 	b.packets++
 	b.bytes += uint64(len(pkt.Payload))
+	if pkt.Retrans {
+		b.retransPkts++
+		b.retransBytes += uint64(len(pkt.Payload))
+	}
 
-	// Map onto the receiver's clock: never before the receiver's
-	// present (its clock may run ahead or behind the sender's).
+	out := b.perturb(pkt, start)
+	tr := b.tracers[pkt.Src]
+	if out.drop {
+		if out.flap {
+			b.fstats.FlapDrops++
+			tr.Record(trace.EvLinkFlap, uint64(pkt.Dst), pkt.Seq, "pkt dropped: link down")
+		} else {
+			b.fstats.Drops++
+			tr.Record(trace.EvWireDrop, uint64(pkt.Dst), pkt.Seq, pkt.Kind.String())
+		}
+		if pkt.Kind == PktData {
+			b.fstats.DroppedDataPackets++
+			b.fstats.DroppedDataBytes += uint64(len(pkt.Payload))
+		}
+		return b.injectFree[pkt.Src]
+	}
+	if out.corrupt {
+		b.fstats.Corrupts++
+		b.link(pkt.Src, pkt.Dst).corruptPacket(pkt)
+		tr.Record(trace.EvWireCorrupt, uint64(pkt.Dst), pkt.Seq, pkt.Kind.String())
+	}
+	if out.extra > 0 {
+		b.fstats.Delays++
+		tr.Record(trace.EvWireDelay, uint64(pkt.Dst), uint64(out.extra), pkt.Kind.String())
+	}
+	if out.dup {
+		b.fstats.Dups++
+		if pkt.Kind == PktData {
+			b.fstats.DupDataBytes += uint64(len(pkt.Payload))
+		}
+		tr.Record(trace.EvWireDup, uint64(pkt.Dst), pkt.Seq, pkt.Kind.String())
+		dup := *pkt
+		dup.Dup = true
+		dup.Payload = append([]byte(nil), pkt.Payload...)
+		b.deliver(dst, &dup, arriveSender+out.dupExtra)
+	}
+	b.deliver(dst, pkt, arriveSender+out.extra)
+	return b.injectFree[pkt.Src]
+}
+
+// deliver schedules a packet arrival on the receiver's clock: never
+// before the receiver's present (its clock may run ahead or behind the
+// sender's).
+func (b *Backplane) deliver(dst Endpoint, pkt *Packet, arriveSender sim.Cycles) {
 	rclock := dst.NodeClock()
 	at := arriveSender
 	if rnow := rclock.Now(); at < rnow {
@@ -130,11 +245,14 @@ func (b *Backplane) Send(pkt *Packet) sim.Cycles {
 		pkt.ArrivedAt = rclock.Now()
 		dst.DeliverPacket(pkt)
 	})
-	return b.injectFree[pkt.Src]
 }
 
-// Stats returns cumulative packet and byte counts.
-func (b *Backplane) Stats() (packets, bytes uint64) { return b.packets, b.bytes }
+// Stats returns cumulative launch counts: every packet handed to Send
+// (including ones the fault plan then dropped), with retransmissions
+// broken out so goodput vs. wire throughput is measurable.
+func (b *Backplane) Stats() (packets, bytes, retransPackets, retransBytes uint64) {
+	return b.packets, b.bytes, b.retransPkts, b.retransBytes
+}
 
 // Nodes returns the number of attached endpoints.
 func (b *Backplane) Nodes() int { return len(b.eps) }

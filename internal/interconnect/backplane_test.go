@@ -121,9 +121,12 @@ func TestStats(t *testing.T) {
 	b, eps := rig(2)
 	b.Send(&Packet{Src: 0, Dst: 1, Payload: make([]byte, 64)})
 	b.Send(&Packet{Src: 1, Dst: 0, Payload: make([]byte, 36)})
-	p, by := b.Stats()
+	p, by, rp, rb := b.Stats()
 	if p != 2 || by != 100 {
 		t.Fatalf("stats = %d,%d", p, by)
+	}
+	if rp != 0 || rb != 0 {
+		t.Fatalf("retrans stats = %d,%d, want 0,0", rp, rb)
 	}
 	if b.Nodes() != 2 {
 		t.Fatalf("Nodes = %d", b.Nodes())

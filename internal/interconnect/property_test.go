@@ -73,7 +73,7 @@ func TestByteAccountingProperty(t *testing.T) {
 			b.Send(&Packet{Src: src, Dst: dst, Payload: make([]byte, n)})
 			want += uint64(n)
 		}
-		_, bytes := b.Stats()
+		_, bytes, _, _ := b.Stats()
 		if bytes != want {
 			return false
 		}

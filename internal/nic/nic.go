@@ -36,6 +36,7 @@ type Stats struct {
 	BytesReceived   uint64
 	PIOWords        uint64
 	RecvDrops       uint64 // packets addressed outside installed RAM
+	RecvDropBytes   uint64 // payload bytes of those drops
 	// LastRecvAt is the receiver-clock completion time of the most
 	// recent receive DMA (latency measurements).
 	LastRecvAt sim.Cycles
@@ -43,6 +44,25 @@ type Stats struct {
 	AutoWords   uint64 // snooped 32-bit stores
 	AutoPackets uint64 // combined packets launched
 	AutoDrops   uint64 // words/bursts dropped for invalid entries
+
+	// Reliability-layer counters (see reliable.go). PacketsSent/BytesSent
+	// count first transmissions only; retransmissions are broken out so
+	// goodput vs. wire throughput stays measurable.
+	Retransmits      uint64
+	RetransBytes     uint64
+	AcksSent         uint64
+	AcksReceived     uint64
+	DupAcks          uint64
+	DupDropped       uint64 // duplicate data packets discarded by the receiver
+	DupBytes         uint64
+	CorruptDropped   uint64 // packets failing the CRC check (never delivered)
+	CorruptBytes     uint64
+	ReseqDropped     uint64 // out-of-order packets the reseq buffer couldn't hold
+	ReseqBytes       uint64
+	CreditStalls     uint64 // transfers bounced queue-full by flow control
+	DeliveryFailures uint64 // links declared broken after the retry cap
+	FailedPackets    uint64 // packets abandoned by broken links
+	FailedBytes      uint64
 }
 
 // Interface is one node's SHRIMP network interface board.
@@ -68,6 +88,8 @@ type Interface struct {
 	pio      pioState
 	auto     autoUpdateState
 
+	rel *reliability // nil = raw wire (the paper's reliable-backplane mode)
+
 	tracer *trace.Tracer // nil = tracing off
 
 	stats Stats
@@ -85,6 +107,17 @@ type nicMetrics struct {
 	niptLookups *telemetry.Counter
 	recvDrops   *telemetry.Counter
 	pktBytes    *telemetry.Histogram
+
+	// Reliability-layer instruments.
+	retransmits      *telemetry.Counter
+	acksSent         *telemetry.Counter
+	acksRecv         *telemetry.Counter
+	dupAcks          *telemetry.Counter
+	crcDropped       *telemetry.Counter
+	dupDropped       *telemetry.Counter
+	creditStalls     *telemetry.Counter
+	deliveryFailures *telemetry.Counter
+	ackRTT           *telemetry.Histogram
 }
 
 // pioState is the memory-mapped FIFO mode's register file.
@@ -109,6 +142,9 @@ type Config struct {
 	// PIOWindow enables the memory-mapped FIFO mode with one register
 	// page after the NIPT pages.
 	PIOWindow bool
+	// Reliability enables the reliable-delivery sublayer (reliable.go);
+	// required when the backplane carries a fault plan.
+	Reliability ReliabilityConfig
 }
 
 // New builds a network interface for a node.
@@ -133,9 +169,15 @@ func New(nodeID int, clock *sim.Clock, costs *sim.CostModel, ram *mem.Physical,
 	if cfg.PIOWindow {
 		nic.pioPages = 1
 	}
+	if cfg.Reliability.Enabled {
+		nic.rel = newReliability(cfg.Reliability)
+	}
 	net.Attach(nic)
 	return nic
 }
+
+// Reliable reports whether the reliable-delivery sublayer is active.
+func (n *Interface) Reliable() bool { return n.rel != nil }
 
 // --- NIPT management (privileged: called by kernel-level mapping code) ---
 
@@ -154,6 +196,16 @@ func (n *Interface) SetMetrics(s *telemetry.Scope) {
 		niptLookups: s.Counter("nic_nipt_lookups"),
 		recvDrops:   s.Counter("nic_recv_drops"),
 		pktBytes:    s.Histogram("nic_packet_bytes"),
+
+		retransmits:      s.Counter("nic_retransmits"),
+		acksSent:         s.Counter("nic_acks_sent"),
+		acksRecv:         s.Counter("nic_acks_recv"),
+		dupAcks:          s.Counter("nic_dup_acks"),
+		crcDropped:       s.Counter("nic_crc_dropped"),
+		dupDropped:       s.Counter("nic_dup_dropped"),
+		creditStalls:     s.Counter("nic_credit_stalls"),
+		deliveryFailures: s.Counter("nic_delivery_failures"),
+		ackRTT:           s.Histogram("nic_ack_rtt_cycles"),
 	}
 }
 
@@ -209,6 +261,19 @@ func (n *Interface) CheckTransfer(da device.DevAddr, nbytes int, toDevice bool) 
 	if !n.nipt[da.Page].Valid {
 		bits |= device.ErrInvalidEntry
 	}
+	if bits == 0 && n.rel != nil {
+		// Credit-based flow control: a slow or flapping receiver shows
+		// up here as a full retransmit buffer, and the transfer bounces
+		// queue-full — a transient the UDMA library already retries —
+		// instead of overrunning the link.
+		s := n.sender(n.nipt[da.Page].DestNode)
+		if s.broken == nil && len(s.pending)+len(s.unacked) >= n.rel.cfg.MaxPending {
+			n.stats.CreditStalls++
+			n.m.creditStalls.Inc()
+			n.tracer.Record(trace.EvCreditStall, uint64(s.dest), uint64(len(s.unacked)), "")
+			bits |= device.ErrQueueFull
+		}
+	}
 	return bits
 }
 
@@ -240,6 +305,9 @@ func (n *Interface) launch(e NIPTEntry, off uint32, data []byte) error {
 	destAddr := addr.PAddr(e.DestPFN<<addr.PageShift | off)
 	payload := make([]byte, len(data))
 	copy(payload, data)
+	if n.rel != nil {
+		return n.relSend(e.DestNode, destAddr, payload)
+	}
 	n.net.Send(&interconnect.Packet{
 		Src:      n.nodeID,
 		Dst:      e.DestNode,
@@ -263,16 +331,33 @@ func (n *Interface) NodeID() int { return n.nodeID }
 // NodeClock implements interconnect.Endpoint.
 func (n *Interface) NodeClock() *sim.Clock { return n.clock }
 
-// DeliverPacket implements interconnect.Endpoint: "At the receiving
-// node, packet data is transferred directly to physical memory by the
-// EISA DMA Logic." The receive DMA occupies the node's I/O bus like
-// any burst, then the data lands.
+// DeliverPacket implements interconnect.Endpoint. With the reliability
+// sublayer on, arriving packets pass through the protocol first: ACKs
+// feed the send half, data packets are CRC-checked, deduped and
+// resequenced, and only in-order clean data reaches the memory path.
 func (n *Interface) DeliverPacket(pkt *interconnect.Packet) {
+	if n.rel != nil {
+		if pkt.Kind == interconnect.PktAck {
+			n.handleAck(pkt)
+			return
+		}
+		n.recvData(pkt)
+		return
+	}
+	n.deliverData(pkt)
+}
+
+// deliverData is the board's raw receive path: "At the receiving node,
+// packet data is transferred directly to physical memory by the EISA
+// DMA Logic." The receive DMA occupies the node's I/O bus like any
+// burst, then the data lands.
+func (n *Interface) deliverData(pkt *interconnect.Packet) {
 	if !n.ram.Contains(pkt.DestAddr, len(pkt.Payload)) {
 		// A corrupt NIPT entry on the sender named memory we don't
 		// have; drop and count (a real board would raise an error
 		// interrupt).
 		n.stats.RecvDrops++
+		n.stats.RecvDropBytes += uint64(len(pkt.Payload))
 		n.m.recvDrops.Inc()
 		return
 	}
@@ -283,6 +368,7 @@ func (n *Interface) DeliverPacket(pkt *interconnect.Packet) {
 	n.clock.Schedule(end, "recv-dma-complete", func() {
 		if err := n.ram.Write(dest, payload); err != nil {
 			n.stats.RecvDrops++
+			n.stats.RecvDropBytes += uint64(len(payload))
 			n.m.recvDrops.Inc()
 			return
 		}

@@ -9,6 +9,7 @@ import (
 	"shrimp/internal/cluster"
 	"shrimp/internal/core"
 	"shrimp/internal/device"
+	"shrimp/internal/interconnect"
 	"shrimp/internal/kernel"
 	"shrimp/internal/machine"
 	"shrimp/internal/nic"
@@ -40,6 +41,17 @@ type ScenarioConfig struct {
 	FaultInject     bool
 	FaultRejectRate float64
 	FaultFailRate   float64
+
+	// Lossy perturbs the backplane (interconnect.FaultPlan) and arms the
+	// NIC reliability sublayer to survive it; byte conservation is then
+	// asserted end-to-end across retransmission.
+	Lossy       bool
+	DropRate    float64
+	DupRate     float64
+	CorruptRate float64
+	DelayRate   float64
+	FlapPeriod  sim.Cycles
+	FlapDown    sim.Cycles
 
 	Kills    int // processes killed mid-run (never receivers)
 	MaxSteps int // liveness bound, in lockstep windows
@@ -79,7 +91,38 @@ func randomConfig(rng *sim.RNG) ScenarioConfig {
 	if rng.Intn(2) == 0 {
 		cfg.Kills = rng.Intn(3)
 	}
+	// Lossy-wire draws come last so adding them kept every earlier
+	// field's per-seed value stable.
+	if rng.Intn(3) == 0 {
+		cfg.Lossy = true
+		cfg.DropRate = 0.02 + 0.08*rng.Float64()
+		cfg.DupRate = 0.02
+		cfg.CorruptRate = 0.02
+		cfg.DelayRate = 0.05
+		if rng.Bool() {
+			cfg.FlapPeriod = sim.Cycles(20_000 + rng.Intn(40_000))
+			cfg.FlapDown = sim.Cycles(2_000 + rng.Intn(4_000))
+		}
+	}
 	return cfg
+}
+
+// faultPlan translates the scenario's lossy knobs into the backplane's
+// fault plan. The wire gets its own seed stream, decorrelated from the
+// scenario-shape and per-process streams.
+func (cfg ScenarioConfig) faultPlan(seed uint64) interconnect.FaultPlan {
+	if !cfg.Lossy {
+		return interconnect.FaultPlan{}
+	}
+	return interconnect.FaultPlan{
+		Seed:        seed ^ 0xFA17_ED_B1_7,
+		DropRate:    cfg.DropRate,
+		DupRate:     cfg.DupRate,
+		CorruptRate: cfg.CorruptRate,
+		DelayRate:   cfg.DelayRate,
+		FlapPeriod:  cfg.FlapPeriod,
+		FlapDown:    cfg.FlapDown,
+	}
 }
 
 // deriveConfig reports the scenario shape a seed produces, without
@@ -147,6 +190,7 @@ type scenario struct {
 	remote      *remotePlan
 	windowReady bool
 	stopRecv    bool
+	drained     bool // DrainHardware ran: nothing is in flight anywhere
 }
 
 // fail records a violation, capturing the node's event trail on the
@@ -170,11 +214,12 @@ func (s *scenario) capped() bool {
 }
 
 // opError reports an unexpected operation error. With fault injection
-// on, hard errors are the scenario working as intended and are ignored;
-// without it, any op error other than a queue-full refusal (a
-// documented transient on the queued machine) is a finding.
+// or a lossy wire on, hard errors are the scenario working as intended
+// (injected faults, broken-link DeliveryErrors, credit-stall bounces)
+// and are ignored; without them, any op error other than a queue-full
+// refusal (a documented transient on the queued machine) is a finding.
 func (s *scenario) opError(node int, what string, err error) {
-	if err == nil || s.cfg.FaultInject || queueFull(err) {
+	if err == nil || s.cfg.FaultInject || s.cfg.Lossy || queueFull(err) {
 		return
 	}
 	s.fail(node, "op-error", what+": "+err.Error())
@@ -206,18 +251,24 @@ func buildScenario(seed uint64, opts Options) *scenario {
 			},
 			Kernel: kernel.Config{Quantum: cfg.Quantum},
 		},
-		NIC:             nic.Config{NIPTPages: cfg.NIPTPages, PIOWindow: true},
+		NIC: nic.Config{
+			NIPTPages:   cfg.NIPTPages,
+			PIOWindow:   true,
+			Reliability: nic.ReliabilityConfig{Enabled: cfg.Lossy},
+		},
 		Window:          cfg.Window,
 		FaultInject:     cfg.FaultInject,
 		FaultSeed:       seed,
 		FaultRejectRate: cfg.FaultRejectRate,
 		FaultFailRate:   cfg.FaultFailRate,
+		Fault:           cfg.faultPlan(seed),
 	})
 
 	for i, n := range s.cl.Nodes {
 		tr := trace.New(n.Clock, 512)
 		n.SetTracer(tr)
 		s.cl.NICs[i].SetTracer(tr)
+		s.cl.Backplane.SetTracer(i, tr)
 		s.tracers = append(s.tracers, tr)
 		s.lastNow = append(s.lastNow, n.Clock.Now())
 
@@ -312,11 +363,21 @@ func (s *scenario) maybeStopReceivers() {
 
 // finalVerify runs the end-of-run conservation checks that need the
 // cluster fully drained: every un-tainted exported page must hold
-// exactly the bytes of the last successful remote send to it.
+// exactly the bytes of the last successful remote send to it, and on a
+// lossy wire every payload byte ever launched must be accounted for.
 func (s *scenario) finalVerify() {
+	s.auditWire()
 	rp := s.remote
 	if rp == nil || rp.pfns == nil {
 		return
+	}
+	if s.cl.NICs[rp.senderNode].Stats().DeliveryFailures > 0 {
+		// The reliability layer gave up on some window at some point; a
+		// "successful" Send only covers DMA into the board, so every
+		// exported page's content is now legally unpredictable.
+		for j := range rp.tainted {
+			rp.tainted[j] = true
+		}
 	}
 	ram := s.cl.Nodes[rp.recvNode].RAM
 	for j := 0; j < rp.pages; j++ {
@@ -333,6 +394,51 @@ func (s *scenario) finalVerify() {
 				fmt.Sprintf("exported page %d (frame %d) differs from last successful send (first diff at %d)",
 					j, rp.pfns[j], firstDiff(page, rp.expect[j])))
 		}
+	}
+}
+
+// auditWire asserts byte conservation end-to-end across retransmission:
+// once the cluster is drained, every data payload byte launched into
+// the backplane (first transmissions + retransmits + fabric-made
+// copies) is either dropped on the wire by the plan, delivered to
+// memory, discarded as a duplicate, dropped by CRC, dropped from a full
+// reseq buffer, dropped for a bad address, or still parked in a reseq
+// buffer of a dead epoch. Nothing double-counted, nothing silently
+// lost.
+func (s *scenario) auditWire() {
+	if !s.cfg.Lossy || !s.drained {
+		return
+	}
+	_, wireBytes, _, wireRetransBytes := s.cl.Backplane.Stats()
+	fs := s.cl.Backplane.FaultStats()
+	var firstTx, retrans, recv, dup, corrupt, reseq, recvDrop, held uint64
+	for i := range s.cl.Nodes {
+		st := s.cl.NICs[i].Stats()
+		firstTx += st.BytesSent
+		retrans += st.RetransBytes
+		recv += st.BytesReceived
+		dup += st.DupBytes
+		corrupt += st.CorruptBytes
+		reseq += st.ReseqBytes
+		recvDrop += st.RecvDropBytes
+		held += s.cl.NICs[i].ReseqHeldBytes()
+	}
+	if firstTx+retrans != wireBytes {
+		s.fail(0, "wire-conservation",
+			fmt.Sprintf("NIC sent %d first-tx + %d retrans bytes but the wire carried %d",
+				firstTx, retrans, wireBytes))
+	}
+	if retrans != wireRetransBytes {
+		s.fail(0, "wire-conservation",
+			fmt.Sprintf("NIC counted %d retrans bytes, backplane %d", retrans, wireRetransBytes))
+	}
+	launched := wireBytes + fs.DupDataBytes
+	accounted := fs.DroppedDataBytes + recv + dup + corrupt + reseq + recvDrop + held
+	if launched != accounted {
+		s.fail(0, "wire-conservation",
+			fmt.Sprintf("launched %d data bytes (wire %d + fabric dups %d) but accounted %d (plan-dropped %d + delivered %d + dup-dropped %d + crc-dropped %d + reseq-dropped %d + addr-dropped %d + reseq-held %d)",
+				launched, wireBytes, fs.DupDataBytes, accounted,
+				fs.DroppedDataBytes, recv, dup, corrupt, reseq, recvDrop, held))
 	}
 }
 

@@ -120,6 +120,7 @@ func Run(seed uint64, opts Options) *Report {
 		}
 		if s.cl.AllIdle() {
 			s.cl.DrainHardware()
+			s.drained = true
 			s.audit(step)
 			break
 		}
@@ -160,5 +161,7 @@ func (s *scenario) fingerprint() uint64 {
 		w, r := s.scratch[i].Counts()
 		fmt.Fprintf(h, " scratch=%d/%d", w, r)
 	}
+	p, by, rp, rb := s.cl.Backplane.Stats()
+	fmt.Fprintf(h, " net=%d/%d/%d/%d fault=%+v", p, by, rp, rb, s.cl.Backplane.FaultStats())
 	return h.Sum64()
 }

@@ -33,6 +33,49 @@ func TestSimCheck(t *testing.T) {
 	}
 }
 
+// lossyOverride forces the acceptance-criteria fault mix onto any
+// scenario: multi-node, 10% drop, 2% corruption, duplicates and
+// reordering delays, with the reliability sublayer armed.
+func lossyOverride(cfg *ScenarioConfig) {
+	if cfg.Nodes < 2 {
+		cfg.Nodes = 2
+	}
+	cfg.Lossy = true
+	cfg.DropRate = 0.10
+	cfg.CorruptRate = 0.02
+	cfg.DupRate = 0.02
+	cfg.DelayRate = 0.10
+}
+
+// TestSimCheckLossySweep is the acceptance sweep for the reliable
+// delivery layer: every seed runs multi-node traffic over a wire with
+// 10% drop + 2% corruption + duplication + reordering, and the full
+// auditor (invariants, final page verification, end-to-end byte
+// conservation across retransmission) must stay silent — every
+// transfer either completed byte-exact or failed with a typed error
+// after the retry cap. A subset of seeds is run twice to prove the
+// outcome and telemetry reproduce exactly.
+func TestSimCheckLossySweep(t *testing.T) {
+	seeds := uint64(256)
+	if testing.Short() {
+		seeds = 64
+	}
+	opts := Options{Override: lossyOverride}
+	for seed := uint64(1); seed <= seeds; seed++ {
+		rep := Run(seed, opts)
+		if rep.Failed() {
+			t.Fatalf("\n%s", rep.String())
+		}
+		if seed%32 == 0 {
+			again := Run(seed, opts)
+			if again.Fingerprint != rep.Fingerprint {
+				t.Fatalf("seed %d: lossy run not reproducible: %016x vs %016x",
+					seed, rep.Fingerprint, again.Fingerprint)
+			}
+		}
+	}
+}
+
 // TestSimCheckDeterminism proves the repro contract: two runs of one
 // seed produce identical fingerprints (final clocks plus every
 // hardware and kernel counter).
@@ -55,7 +98,7 @@ func TestSimCheckDeterminism(t *testing.T) {
 // scenarios must include multi-node clusters, queued controllers, fault
 // injection, cleaners and kills.
 func TestSimCheckCoversMechanisms(t *testing.T) {
-	var multi, queued, faulty, cleaner, kills bool
+	var multi, queued, faulty, cleaner, kills, lossy, flappy bool
 	for seed := uint64(1); seed <= 64; seed++ {
 		cfg := deriveConfig(seed)
 		multi = multi || cfg.Nodes > 1
@@ -63,10 +106,12 @@ func TestSimCheckCoversMechanisms(t *testing.T) {
 		faulty = faulty || cfg.FaultInject
 		cleaner = cleaner || cfg.Cleaner
 		kills = kills || cfg.Kills > 0
+		lossy = lossy || cfg.Lossy
+		flappy = flappy || cfg.FlapPeriod > 0
 	}
 	for name, ok := range map[string]bool{
 		"multi-node": multi, "queued": queued, "fault-inject": faulty,
-		"cleaner": cleaner, "kills": kills,
+		"cleaner": cleaner, "kills": kills, "lossy-wire": lossy, "link-flap": flappy,
 	} {
 		if !ok {
 			t.Errorf("seed sweep never produced a %s scenario", name)

@@ -44,6 +44,19 @@ const (
 	// Network events.
 	EvPacketSend
 	EvPacketRecv
+	// Wire fault events (recorded by the backplane fault plan on the
+	// sender's tracer).
+	EvWireDrop
+	EvWireDup
+	EvWireCorrupt
+	EvWireDelay
+	EvLinkFlap
+	// NIC reliability-layer events.
+	EvRetransmit
+	EvCrcDrop
+	EvDupDrop
+	EvCreditStall
+	EvDeliveryFail
 )
 
 var kindNames = map[Kind]string{
@@ -64,6 +77,16 @@ var kindNames = map[Kind]string{
 	EvMachineCheck:  "machine-check",
 	EvPacketSend:    "pkt-send",
 	EvPacketRecv:    "pkt-recv",
+	EvWireDrop:      "wire-drop",
+	EvWireDup:       "wire-dup",
+	EvWireCorrupt:   "wire-corrupt",
+	EvWireDelay:     "wire-delay",
+	EvLinkFlap:      "link-flap",
+	EvRetransmit:    "retransmit",
+	EvCrcDrop:       "crc-drop",
+	EvDupDrop:       "dup-drop",
+	EvCreditStall:   "credit-stall",
+	EvDeliveryFail:  "delivery-fail",
 }
 
 // Kinds returns every known event kind in numeric order, derived from

@@ -182,14 +182,14 @@ func TestNewRequiresClock(t *testing.T) {
 
 // TestKindsCoverEveryDeclaredKind is the regression test for the
 // summary dropping kinds: every constant from EvStore through
-// EvPacketRecv must be named and enumerated by Kinds(), so Summary can
-// never silently omit an event class (the fault-recovery kinds
+// EvDeliveryFail must be named and enumerated by Kinds(), so Summary
+// can never silently omit an event class (the fault-recovery kinds
 // EvTransferFail and EvMachineCheck were invisible to the old
 // hand-maintained list).
 func TestKindsCoverEveryDeclaredKind(t *testing.T) {
 	kinds := Kinds()
-	if len(kinds) != int(EvPacketRecv)+1 {
-		t.Fatalf("Kinds() enumerates %d kinds, want %d", len(kinds), int(EvPacketRecv)+1)
+	if len(kinds) != int(EvDeliveryFail)+1 {
+		t.Fatalf("Kinds() enumerates %d kinds, want %d", len(kinds), int(EvDeliveryFail)+1)
 	}
 	for i, k := range kinds {
 		if int(k) != i {
