@@ -14,6 +14,9 @@
 //	shrimpsim -scenario fuzz        # randomized run under the invariant auditor
 //	shrimpsim -scenario fuzz -seed 7 -count 100
 //	shrimpsim -nodes 8 -size 16384  # scenario parameters
+//	shrimpsim -workers 8            # host goroutines for cluster windows and
+//	                                # seed/rate sweeps (results are identical
+//	                                # at any worker count)
 //
 // Observation flags (work with every scenario; telemetry is a pure
 // observer, so they never change simulated results):
@@ -59,8 +62,13 @@ func main() {
 		metrics    = flag.Bool("metrics", false, "print a telemetry snapshot after the scenario")
 		metricsOut = flag.String("metrics-out", "", "write the telemetry snapshot as JSON to this file")
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace_event JSON file (Perfetto) to this file")
+		workers    = flag.Int("workers", 1, "host goroutines: cluster node windows, fuzz seeds and experiment sweeps (results identical at any value)")
 	)
 	flag.Parse()
+	if *workers < 1 {
+		*workers = 1
+	}
+	experiments.SetSweepWorkers(*workers)
 
 	o := newObs(*metrics, *metricsOut, *traceOut)
 
@@ -69,7 +77,7 @@ func main() {
 	case "send":
 		err = scenarioSend(*size, *withTrace, o)
 	case "cluster":
-		err = scenarioCluster(*nodes, *size, o)
+		err = scenarioCluster(*nodes, *size, *workers, o)
 	case "share":
 		err = scenarioShare(*senders, *size, o)
 	case "paging":
@@ -83,7 +91,7 @@ func main() {
 	case "contention":
 		err = scenarioContention(*senders, *size, o)
 	case "fuzz":
-		err = scenarioFuzz(*seed, *count)
+		err = scenarioFuzz(*seed, *count, *workers)
 	default:
 		err = fmt.Errorf("unknown scenario %q", *scenario)
 	}
@@ -226,10 +234,11 @@ func scenarioSend(size int, withTrace bool, o *obs) error {
 	return nil
 }
 
-func scenarioCluster(nodes, size int, o *obs) error {
+func scenarioCluster(nodes, size, workers int, o *obs) error {
 	fmt.Printf("# %d-node deliberate-update ring, %d bytes per message\n", nodes, size)
 	c := cluster.New(cluster.Config{
 		Nodes:   nodes,
+		Workers: workers,
 		Machine: machine.Config{RAMFrames: 128},
 		NIC:     nic.Config{NIPTPages: 64},
 		Metrics: o.registry(),
@@ -268,9 +277,9 @@ func scenarioCluster(nodes, size int, o *obs) error {
 			return fmt.Errorf("node %d: %w", i, err)
 		}
 	}
-	for i := 0; i < nodes; i++ {
-		c.Nodes[i].Clock.RunUntilIdle()
-	}
+	// Drain through the cluster so deferred backplane mailboxes keep
+	// flushing; per-node RunUntilIdle would strand undelivered mail.
+	c.DrainHardware()
 	for i := 0; i < nodes; i++ {
 		s := c.NICs[i].Stats()
 		fmt.Printf("node %d: sent %d B in %d packet(s), received %d B, clock %.0f µs\n",
@@ -487,7 +496,7 @@ func scenarioLossy(seed uint64) error {
 // online invariant auditor — the command-line face of the deterministic
 // simulation checker. A failure prints the violation list, the event
 // trail and the one-command go-test repro.
-func scenarioFuzz(seed uint64, count int) error {
+func scenarioFuzz(seed uint64, count, workers int) error {
 	if seed == experiments.FaultSeed {
 		seed = 1 // the faults-scenario default is not a useful fuzz start
 	}
@@ -495,9 +504,10 @@ func scenarioFuzz(seed uint64, count int) error {
 		count = 1
 	}
 	fmt.Printf("# simcheck fuzz: %d seed(s) starting at %d, auditing I1–I4 every window\n", count, seed)
+	// Each seed is an independent simulation, so the sweep fans out over
+	// host workers; reports come back (and print) in seed order.
 	failures := 0
-	for s := seed; s < seed+uint64(count); s++ {
-		rep := simcheck.Run(s, simcheck.Options{})
+	for _, rep := range simcheck.Sweep(seed, count, workers, simcheck.Options{}) {
 		fmt.Println(rep)
 		if rep.Failed() {
 			failures++

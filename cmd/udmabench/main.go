@@ -11,6 +11,7 @@
 //	udmabench -csv dir     # also write series/tables as CSV files
 //	udmabench -json FILE   # write per-experiment headline metrics as JSON
 //	udmabench -plot        # draw ASCII plots for series (Figure 8 etc.)
+//	udmabench -workers N   # fan rate/seed sweeps inside experiments over N goroutines
 package main
 
 import (
@@ -32,8 +33,10 @@ func main() {
 		csv     = flag.String("csv", "", "directory to write CSV output into")
 		jsonOut = flag.String("json", "", "write per-experiment headline metrics as JSON to this file")
 		plot    = flag.Bool("plot", false, "render ASCII plots for series")
+		workers = flag.Int("workers", 1, "host goroutines for the sweeps inside experiments (results identical at any value)")
 	)
 	flag.Parse()
+	experiments.SetSweepWorkers(*workers)
 
 	if *list {
 		for _, id := range experiments.IDs() {

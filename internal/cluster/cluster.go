@@ -11,6 +11,16 @@
 // experiments). This keeps every node's CPU concurrently "running" in
 // simulated time, which a single shared clock cannot do with
 // coroutine-style processes.
+//
+// The lockstep windows are also the unit of host parallelism
+// (Config.Workers): the backplane runs in deferred-mailbox mode, so a
+// node's inbound packets for a window are fully determined before the
+// window starts — Step flushes all mailboxes at the barrier, then runs
+// each node's kernel+clock on a worker goroutine. Nothing a node does
+// mid-window can touch another node's clock or event queue, and the
+// barrier merge orders deliveries by (arrival, sender, sequence), so
+// the simulation is bit-identical at every worker count (the
+// conservative parallel discrete-event design; see DESIGN.md §11).
 package cluster
 
 import (
@@ -23,6 +33,7 @@ import (
 	"shrimp/internal/machine"
 	"shrimp/internal/nic"
 	"shrimp/internal/sim"
+	"shrimp/internal/sweep"
 	"shrimp/internal/telemetry"
 )
 
@@ -37,6 +48,18 @@ type Config struct {
 	NIC nic.Config
 	// Window is the lockstep horizon step in cycles (default 10_000).
 	Window sim.Cycles
+
+	// Workers is the number of host goroutines that run node windows in
+	// parallel (0 or 1 = serial, today's behavior). Any value produces
+	// bit-identical simulations: cross-node packets sit in per-sender
+	// mailboxes until the next barrier, so worker scheduling never
+	// reorders a simulated event. Values above the node count buy
+	// nothing. Note that cluster drivers which poke node state from the
+	// test goroutine *between* Step calls are fine at any Workers, but
+	// drivers that share host state across node processes mid-window
+	// (e.g. a Go channel between processes on different nodes) are only
+	// safe at Workers <= 1.
+	Workers int
 
 	// FaultInject wraps every node's NIC in a device.Faulty so the
 	// fault-recovery experiments can exercise the error paths under
@@ -80,6 +103,7 @@ type Cluster struct {
 	Faulty []*device.Faulty
 
 	window  sim.Cycles
+	workers int
 	metrics *telemetry.Registry
 }
 
@@ -108,11 +132,20 @@ func New(cfg Config) *Cluster {
 	if window == 0 {
 		window = 10_000
 	}
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
 	c := &Cluster{
 		Backplane: interconnect.New(costs),
 		window:    window,
+		workers:   workers,
 		metrics:   cfg.Metrics,
 	}
+	// Mailbox mode even at Workers=1, so the simulated schedule is the
+	// same at every worker count (serial is the reference, not a
+	// different simulation).
+	c.Backplane.SetDeferred(true)
 	if cfg.Fault.Enabled() {
 		c.Backplane.SetFaultPlan(cfg.Fault)
 	}
@@ -178,20 +211,34 @@ func (c *Cluster) Run(limit sim.Cycles) error {
 	}
 }
 
-// Step runs one lockstep window: every node's kernel runs until its
-// local clock reaches horizon (exited nodes coast so their hardware
-// events still fire). It reports whether any node's clock moved —
-// callers, like Run, end the simulation when a whole round makes no
-// progress and no events are pending. Extracted from Run so external
-// drivers (the simcheck runner) can interleave work — invariant
-// audits, process kills — between windows, when no process is mid-
-// instruction and node state is consistent.
+// Step runs one lockstep window. It is the parallel barrier: first
+// every deferred cross-node delivery from earlier windows is flushed
+// onto the receiver clocks (deterministic merge, see interconnect.
+// Flush), fixing each node's inbound events for the window; then every
+// node's kernel runs until its local clock reaches horizon (exited
+// nodes coast so their hardware events still fire), with up to
+// Config.Workers nodes running concurrently. Mid-window a node touches
+// only its own clock, kernel, RAM and the backplane's per-sender
+// outbox shard, so worker scheduling cannot perturb the simulation.
+//
+// Step reports whether any node's clock moved — callers, like Run, end
+// the simulation when a whole round makes no progress and no events
+// are pending. Extracted from Run so external drivers (the simcheck
+// runner) can interleave work — invariant audits, process kills —
+// between windows, when no process is mid-instruction, no worker is
+// running, and node state is consistent.
 func (c *Cluster) Step(horizon sim.Cycles) (progress bool, err error) {
-	for _, n := range c.Nodes {
+	c.Backplane.Flush()
+	type result struct {
+		moved bool
+		err   error
+	}
+	results := sweep.Run(len(c.Nodes), c.workers, func(i int) result {
+		n := c.Nodes[i]
 		before := n.Clock.Now()
 		err := n.Kernel.Run(horizon)
 		if err != nil && !errors.Is(err, kernel.ErrDeadlock) {
-			return progress, fmt.Errorf("cluster: node %d: %w", n.ID, err)
+			return result{err: fmt.Errorf("cluster: node %d: %w", n.ID, err)}
 		}
 		if n.Kernel.AllExited() {
 			// The node's software is done but its hardware may not
@@ -200,8 +247,17 @@ func (c *Cluster) Step(horizon sim.Cycles) (progress bool, err error) {
 			// node's clock follow the horizon so those events fire.
 			n.Clock.AdvanceTo(horizon)
 		}
-		if n.Clock.Now() != before {
+		return result{moved: n.Clock.Now() != before}
+	})
+	// Aggregate in node order so the reported error is deterministic.
+	for _, r := range results {
+		if r.moved {
 			progress = true
+		}
+	}
+	for _, r := range results {
+		if r.err != nil {
+			return progress, r.err
 		}
 	}
 	return progress, nil
@@ -218,8 +274,14 @@ func (c *Cluster) Window() sim.Cycles { return c.window }
 // fire ahead of the ACK another node sends earlier in simulated time
 // (a per-node RunUntilIdle sweep would run one node arbitrarily far
 // ahead and make the reliability layer retransmit spuriously at drain).
+// Each round first flushes the deferred mailboxes (an event fired
+// during the drain may launch new packets, which park as mail until
+// the next round). The drain itself is serial: it is not on the
+// performance path, and the strict earliest-event-first order is what
+// the reliability layer's timing proofs lean on.
 func (c *Cluster) DrainHardware() {
 	for {
+		c.Backplane.Flush()
 		next := sim.Forever
 		for _, n := range c.Nodes {
 			if at, ok := n.Clock.NextEventAt(); ok && at < next {
@@ -227,6 +289,8 @@ func (c *Cluster) DrainHardware() {
 			}
 		}
 		if next == sim.Forever {
+			// No scheduled events anywhere and Flush just emptied the
+			// mailboxes: nothing can ever fire again.
 			return
 		}
 		for _, n := range c.Nodes {
@@ -324,12 +388,14 @@ func (c *Cluster) PublishRollup() {
 	root.Gauge("cluster_wire_corrupts").Set(int64(fs.Corrupts))
 }
 
-// AnyPending reports whether any node has scheduled events outstanding.
+// AnyPending reports whether any node has scheduled events outstanding
+// or any cross-node packet is parked in a backplane mailbox awaiting
+// the next barrier flush.
 func (c *Cluster) AnyPending() bool {
 	for _, n := range c.Nodes {
 		if n.Clock.Pending() > 0 {
 			return true
 		}
 	}
-	return false
+	return c.Backplane.MailPending()
 }

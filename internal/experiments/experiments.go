@@ -79,6 +79,23 @@ var registry = map[string]struct {
 	"e11": {"Extension: automatic update vs deliberate update", RunAutoVsDeliberate},
 	"e12": {"Extension: fault injection and per-transfer error recovery", RunFaultInjection},
 	"e13": {"Extension: lossy wire, reliable delivery — goodput and latency vs loss", RunLossyWire},
+	"e14": {"Extension: parallel simulation — serial vs parallel wall-clock speedup", RunParallelSpeedup},
+}
+
+// sweepWorkers is how many host goroutines the rate/seed sweeps inside
+// experiments (e12's fault-rate curve, e13's loss-rate curve) may use.
+// Default 1 keeps the historical serial behavior; cmd/udmabench's
+// -workers flag raises it. Results are identical at any value — each
+// trial builds its own simulator and the sweep returns results in input
+// order — only wall-clock time changes.
+var sweepWorkers = 1
+
+// SetSweepWorkers sets the sweep parallelism (values < 1 mean serial).
+func SetSweepWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	sweepWorkers = n
 }
 
 // IDs returns the registered experiment ids in order.

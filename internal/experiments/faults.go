@@ -10,6 +10,7 @@ import (
 	"shrimp/internal/machine"
 	"shrimp/internal/sim"
 	"shrimp/internal/stats"
+	"shrimp/internal/sweep"
 	"shrimp/internal/udmalib"
 	"shrimp/internal/workload"
 )
@@ -157,18 +158,28 @@ func RunFaultInjectionSeeded(seed uint64) (*Result, error) {
 	tbl := stats.NewTable("Recovery under injected faults (48 × 4 KB messages)",
 		"fault rate", "delivered", "given up", "injected rej/fail",
 		"backoffs", "goodput MB/s", "mean recovery µs")
+	// One independent single-node machine per rate: fan the sweep out
+	// across workers, keep the table in rate order.
+	type trialOut struct {
+		t   *faultTrial
+		err error
+	}
+	outs := sweep.Run(len(rates), sweepWorkers, func(i int) trialOut {
+		t, err := runFaultTrial(rates[i], seed, cleanSend)
+		return trialOut{t, err}
+	})
 	var trials []*faultTrial
-	for _, rate := range rates {
-		t, err := runFaultTrial(rate, seed, cleanSend)
-		if err != nil {
-			return nil, fmt.Errorf("rate %.2f: %w", rate, err)
+	for i, out := range outs {
+		if out.err != nil {
+			return nil, fmt.Errorf("rate %.2f: %w", rates[i], out.err)
 		}
+		t := out.t
 		trials = append(trials, t)
 		recovery := "-"
 		if t.Recovered > 0 {
 			recovery = fmt.Sprintf("%.1f", t.Costs.Micros(t.RecoveryCycles)/float64(t.Recovered))
 		}
-		tbl.AddRow(fmt.Sprintf("%.2f", rate),
+		tbl.AddRow(fmt.Sprintf("%.2f", rates[i]),
 			fmt.Sprintf("%d/%d", t.Delivered, t.Messages),
 			fmt.Sprintf("%d", t.Exhausted),
 			fmt.Sprintf("%d/%d", t.Rejected, t.Failed),

@@ -12,6 +12,7 @@ import (
 	"shrimp/internal/nic"
 	"shrimp/internal/sim"
 	"shrimp/internal/stats"
+	"shrimp/internal/sweep"
 	"shrimp/internal/udmalib"
 	"shrimp/internal/workload"
 )
@@ -203,14 +204,25 @@ func RunLossyWireSeeded(seed uint64) (*Result, error) {
 	tbl := stats.NewTable("Reliable delivery over a lossy wire (128 × 1 KB messages, 2% corruption)",
 		"drop rate", "delivered", "retransmits", "wire overhead", "credit stalls",
 		"goodput MB/s", "p50 µs", "p99 µs")
+	// Each rate's trial is an independent two-node cluster, so the sweep
+	// fans out across workers; results come back in rate order, keeping
+	// the table byte-identical at any parallelism.
+	type trialOut struct {
+		t   *lossTrial
+		err error
+	}
+	outs := sweep.Run(len(rates), sweepWorkers, func(i int) trialOut {
+		t, err := runLossTrial(rates[i], seed)
+		return trialOut{t, err}
+	})
 	var trials []*lossTrial
-	for _, rate := range rates {
-		t, err := runLossTrial(rate, seed)
-		if err != nil {
-			return nil, fmt.Errorf("rate %.2f: %w", rate, err)
+	for i, out := range outs {
+		if out.err != nil {
+			return nil, fmt.Errorf("rate %.2f: %w", rates[i], out.err)
 		}
+		t := out.t
 		trials = append(trials, t)
-		tbl.AddRow(fmt.Sprintf("%.2f", rate),
+		tbl.AddRow(fmt.Sprintf("%.2f", rates[i]),
 			fmt.Sprintf("%d/%d", t.Delivered, t.Messages),
 			fmt.Sprintf("%d", t.Retransmits),
 			fmt.Sprintf("%.1f%%", 100*t.wireOverhead()),

@@ -122,8 +122,10 @@ func niptRun(entries uint32) (usPerSend float64, exercised int, intact bool, err
 	if err != nil {
 		return 0, 0, false, err
 	}
-	// Drain in-flight receive DMAs.
-	c.Nodes[1].Clock.RunUntilIdle()
+	// Drain in-flight packets and receive DMAs through the cluster's
+	// merged event loop (per-node RunUntilIdle would never see packets
+	// parked in the backplane's deferred mailboxes).
+	c.DrainHardware()
 
 	// The LAST message into each frame wins; verify frame contents
 	// match the latest sender whose entry pointed there.

@@ -141,11 +141,12 @@ func nicLatency(size int, pio bool) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	// Both sides finish in hardware after the sender process exits:
-	// drain the sender's in-flight DMA (whose completion launches the
-	// packet), then the receiver's arrival and receive-DMA events.
-	c.Nodes[0].Clock.RunUntilIdle()
-	c.Nodes[1].Clock.RunUntilIdle()
+	// Both sides finish in hardware after the sender process exits: the
+	// cluster's merged drain flushes the backplane mailboxes and fires
+	// the sender's in-flight DMA (whose completion launches the packet),
+	// the receiver's arrival and its receive-DMA events, all in global
+	// time order.
+	c.DrainHardware()
 	st := c.NICs[1].Stats()
 	if st.PacketsReceived < 2 {
 		return 0, fmt.Errorf("only %d packets received", st.PacketsReceived)

@@ -7,11 +7,26 @@
 // receiver at max(receiver-now, T + flight time). Injection is
 // serialized per sender — one outgoing FIFO drains into the network at
 // link speed — which is what bounds back-to-back page sends.
+//
+// The backplane has two delivery modes. In immediate mode (the default,
+// used by single-threaded rigs and the nic package's tests) Send
+// schedules the arrival on the receiver's clock right away. In deferred
+// mode (armed by internal/cluster via SetDeferred) every cross-node
+// packet is appended to the sender's timestamped outbox mailbox instead,
+// and Flush — called at the cluster's lockstep barriers — merges all
+// mailboxes in a deterministic (arrive, src, seq) order onto the
+// receiver clocks. Because nothing touches a remote clock mid-window, a
+// node's inbound events for a window are fixed before the window runs,
+// which is what lets the cluster run node kernels on parallel worker
+// goroutines without changing a single simulated timestamp. Loopback
+// packets (src == dst) are always delivered immediately: they stay on
+// the sender's own clock, so they are race-free under any worker count.
 package interconnect
 
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"shrimp/internal/addr"
 	"shrimp/internal/sim"
@@ -74,23 +89,51 @@ type Endpoint interface {
 	DeliverPacket(pkt *Packet)
 }
 
-// Backplane is the mesh. Attach every endpoint before sending.
-type Backplane struct {
-	costs *sim.CostModel
-	eps   map[int]Endpoint
-	width int // mesh width for hop counting; recomputed on Attach
+// mailEntry is one deferred delivery parked in a sender's outbox:
+// the packet plus its arrival time (sender-clock) and a per-sender
+// sequence number that breaks same-cycle ties deterministically.
+type mailEntry struct {
+	pkt *Packet
+	at  sim.Cycles
+	src int
+	seq uint64
+}
 
-	injectFree map[int]sim.Cycles // per-sender outgoing FIFO free time
+// outbox is the per-sender slice of all backplane state a Send
+// mutates: the injection FIFO, launch counters, fault accounting, the
+// per-destination fault RNG streams and the deferred-delivery mailbox.
+// Because every field is touched only from the sending node's
+// goroutine, concurrent windows on different nodes never contend, and
+// summing the shards at a barrier is deterministic.
+type outbox struct {
+	injectFree sim.Cycles // outgoing FIFO free time
 
 	packets      uint64
 	bytes        uint64
 	retransPkts  uint64
 	retransBytes uint64
 
+	links  map[int]*linkFault // per-destination fault state
+	fstats FaultStats
+
+	mail []mailEntry // deferred deliveries awaiting Flush
+	seq  uint64      // next mailEntry tie-break sequence
+}
+
+// Backplane is the mesh. Attach every endpoint before sending.
+type Backplane struct {
+	costs *sim.CostModel
+	eps   map[int]Endpoint
+	ids   []int // attached node ids, sorted: deterministic iteration
+	width int   // mesh width for hop counting; recomputed on Attach
+
+	deferred bool
+	out      map[int]*outbox // per-sender shard, created at Attach
+
 	plan    FaultPlan
-	links   map[[2]int]*linkFault
-	fstats  FaultStats
 	tracers map[int]*trace.Tracer // per-sender wire anomaly tracers
+
+	flushBuf []mailEntry // scratch for Flush's merge sort
 }
 
 // New returns an empty backplane using the given cost model for link
@@ -100,19 +143,30 @@ func New(costs *sim.CostModel) *Backplane {
 		panic("interconnect: New requires a cost model")
 	}
 	return &Backplane{
-		costs:      costs,
-		eps:        make(map[int]Endpoint),
-		injectFree: make(map[int]sim.Cycles),
-		links:      make(map[[2]int]*linkFault),
-		tracers:    make(map[int]*trace.Tracer),
+		costs:   costs,
+		eps:     make(map[int]Endpoint),
+		out:     make(map[int]*outbox),
+		tracers: make(map[int]*trace.Tracer),
 	}
 }
+
+// SetDeferred switches cross-node deliveries into mailbox mode: Send
+// parks arrivals in the sender's outbox and Flush (at a barrier)
+// schedules them. internal/cluster arms this for every cluster so that
+// the simulation is bit-identical at every worker count; standalone
+// rigs that drive clocks by hand keep immediate mode.
+func (b *Backplane) SetDeferred(on bool) { b.deferred = on }
+
+// Deferred reports whether mailbox delivery is armed.
+func (b *Backplane) Deferred() bool { return b.deferred }
 
 // SetFaultPlan installs (or, with the zero plan, clears) the wire fault
 // model. Call before traffic starts: per-link RNG streams reset.
 func (b *Backplane) SetFaultPlan(plan FaultPlan) {
 	b.plan = plan
-	b.links = make(map[[2]int]*linkFault)
+	for _, ob := range b.out {
+		ob.links = make(map[int]*linkFault)
+	}
 }
 
 // Plan returns the installed fault plan.
@@ -129,8 +183,15 @@ func (b *Backplane) SetTracer(node int, tr *trace.Tracer) {
 	b.tracers[node] = tr
 }
 
-// FaultStats returns cumulative fault-plan activity.
-func (b *Backplane) FaultStats() FaultStats { return b.fstats }
+// FaultStats returns cumulative fault-plan activity, summed over the
+// per-sender shards (node order; the fields are commutative counters).
+func (b *Backplane) FaultStats() FaultStats {
+	var fs FaultStats
+	for _, id := range b.ids {
+		fs.add(b.out[id].fstats)
+	}
+	return fs
+}
 
 // Attach registers an endpoint. Attaching two endpoints with the same
 // node ID is a wiring bug.
@@ -140,6 +201,9 @@ func (b *Backplane) Attach(ep Endpoint) {
 		panic(fmt.Sprintf("interconnect: duplicate endpoint for node %d", id))
 	}
 	b.eps[id] = ep
+	b.out[id] = &outbox{links: make(map[int]*linkFault)}
+	b.ids = append(b.ids, id)
+	sort.Ints(b.ids)
 	b.width = int(math.Ceil(math.Sqrt(float64(len(b.eps)))))
 	if b.width < 1 {
 		b.width = 1
@@ -157,12 +221,25 @@ func (b *Backplane) Hops(src, dst int) sim.Cycles {
 	return sim.Cycles(manhattan)
 }
 
+// Lookahead returns the minimum cross-node flight time under the cost
+// model: one hop of routing latency plus the wire time of an empty
+// packet. No packet launched in a window can arrive at another node
+// earlier than this after its launch — the bound that makes the
+// cluster's conservative windowed parallelism safe (see DESIGN.md §11).
+func (b *Backplane) Lookahead() sim.Cycles {
+	return b.costs.LinkLatency + b.costs.LinkCycles(0)
+}
+
 // Send launches a packet from its source endpoint. It serializes with
 // the sender's earlier packets (one outgoing FIFO), then flies across
 // the mesh and is delivered on the receiver's clock — unless the fault
 // plan drops, duplicates, delays or corrupts it in flight. Send returns
 // the sender-clock time at which the outgoing FIFO is free again
 // (dropped packets still occupied the FIFO on their way out).
+//
+// In deferred mode the delivery is parked in the sender's outbox until
+// the next Flush; everything Send itself touches lives in the sender's
+// shard, so concurrent sends from different nodes never share state.
 func (b *Backplane) Send(pkt *Packet) sim.Cycles {
 	src, ok := b.eps[pkt.Src]
 	if !ok {
@@ -172,70 +249,84 @@ func (b *Backplane) Send(pkt *Packet) sim.Cycles {
 	if !ok {
 		panic(fmt.Sprintf("interconnect: send to unattached node %d", pkt.Dst))
 	}
+	ob := b.out[pkt.Src]
 
 	now := src.NodeClock().Now()
 	start := now
-	if free := b.injectFree[pkt.Src]; free > start {
-		start = free
+	if ob.injectFree > start {
+		start = ob.injectFree
 	}
 	wire := b.costs.LinkCycles(len(pkt.Payload))
-	b.injectFree[pkt.Src] = start + wire
+	ob.injectFree = start + wire
 
 	flight := b.Hops(pkt.Src, pkt.Dst)*b.costs.LinkLatency + wire
 	arriveSender := start + flight // in sender time
 
 	pkt.LaunchedAt = start
-	b.packets++
-	b.bytes += uint64(len(pkt.Payload))
+	ob.packets++
+	ob.bytes += uint64(len(pkt.Payload))
 	if pkt.Retrans {
-		b.retransPkts++
-		b.retransBytes += uint64(len(pkt.Payload))
+		ob.retransPkts++
+		ob.retransBytes += uint64(len(pkt.Payload))
 	}
 
-	out := b.perturb(pkt, start)
+	out := b.perturb(ob, pkt, start)
 	tr := b.tracers[pkt.Src]
 	if out.drop {
 		if out.flap {
-			b.fstats.FlapDrops++
+			ob.fstats.FlapDrops++
 			tr.Record(trace.EvLinkFlap, uint64(pkt.Dst), pkt.Seq, "pkt dropped: link down")
 		} else {
-			b.fstats.Drops++
+			ob.fstats.Drops++
 			tr.Record(trace.EvWireDrop, uint64(pkt.Dst), pkt.Seq, pkt.Kind.String())
 		}
 		if pkt.Kind == PktData {
-			b.fstats.DroppedDataPackets++
-			b.fstats.DroppedDataBytes += uint64(len(pkt.Payload))
+			ob.fstats.DroppedDataPackets++
+			ob.fstats.DroppedDataBytes += uint64(len(pkt.Payload))
 		}
-		return b.injectFree[pkt.Src]
+		return ob.injectFree
 	}
 	if out.corrupt {
-		b.fstats.Corrupts++
-		b.link(pkt.Src, pkt.Dst).corruptPacket(pkt)
+		ob.fstats.Corrupts++
+		ob.link(b.plan, pkt.Src, pkt.Dst).corruptPacket(pkt)
 		tr.Record(trace.EvWireCorrupt, uint64(pkt.Dst), pkt.Seq, pkt.Kind.String())
 	}
 	if out.extra > 0 {
-		b.fstats.Delays++
+		ob.fstats.Delays++
 		tr.Record(trace.EvWireDelay, uint64(pkt.Dst), uint64(out.extra), pkt.Kind.String())
 	}
 	if out.dup {
-		b.fstats.Dups++
+		ob.fstats.Dups++
 		if pkt.Kind == PktData {
-			b.fstats.DupDataBytes += uint64(len(pkt.Payload))
+			ob.fstats.DupDataBytes += uint64(len(pkt.Payload))
 		}
 		tr.Record(trace.EvWireDup, uint64(pkt.Dst), pkt.Seq, pkt.Kind.String())
 		dup := *pkt
 		dup.Dup = true
 		dup.Payload = append([]byte(nil), pkt.Payload...)
-		b.deliver(dst, &dup, arriveSender+out.dupExtra)
+		b.deliver(ob, dst, &dup, arriveSender+out.dupExtra)
 	}
-	b.deliver(dst, pkt, arriveSender+out.extra)
-	return b.injectFree[pkt.Src]
+	b.deliver(ob, dst, pkt, arriveSender+out.extra)
+	return ob.injectFree
 }
 
-// deliver schedules a packet arrival on the receiver's clock: never
-// before the receiver's present (its clock may run ahead or behind the
+// deliver routes one arrival: immediately onto the receiver's clock, or
+// into the sender's mailbox when deferred. Loopback (src == dst) is
+// always immediate — the "receiver" clock is the sender's own, so the
+// schedule is race-free and identical at every worker count.
+func (b *Backplane) deliver(ob *outbox, dst Endpoint, pkt *Packet, arriveSender sim.Cycles) {
+	if b.deferred && pkt.Src != pkt.Dst {
+		ob.mail = append(ob.mail, mailEntry{pkt: pkt, at: arriveSender, src: pkt.Src, seq: ob.seq})
+		ob.seq++
+		return
+	}
+	b.schedule(dst, pkt, arriveSender)
+}
+
+// schedule puts a packet arrival on the receiver's clock: never before
+// the receiver's present (its clock may run ahead or behind the
 // sender's).
-func (b *Backplane) deliver(dst Endpoint, pkt *Packet, arriveSender sim.Cycles) {
+func (b *Backplane) schedule(dst Endpoint, pkt *Packet, arriveSender sim.Cycles) {
 	rclock := dst.NodeClock()
 	at := arriveSender
 	if rnow := rclock.Now(); at < rnow {
@@ -247,11 +338,58 @@ func (b *Backplane) deliver(dst Endpoint, pkt *Packet, arriveSender sim.Cycles) 
 	})
 }
 
+// Flush drains every outbox mailbox onto the receiver clocks. Entries
+// are merged in (arrival time, sender, per-sender sequence) order, so
+// the schedule — including same-cycle tie-breaks on a receiver's event
+// queue — is a pure function of what was sent, independent of both the
+// flush caller and how many worker goroutines ran the windows that
+// produced the mail. Call only at a barrier: no node may be mid-window.
+func (b *Backplane) Flush() {
+	all := b.flushBuf[:0]
+	for _, id := range b.ids {
+		ob := b.out[id]
+		all = append(all, ob.mail...)
+		ob.mail = ob.mail[:0]
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].at != all[j].at {
+			return all[i].at < all[j].at
+		}
+		if all[i].src != all[j].src {
+			return all[i].src < all[j].src
+		}
+		return all[i].seq < all[j].seq
+	})
+	for _, e := range all {
+		b.schedule(b.eps[e.pkt.Dst], e.pkt, e.at)
+	}
+	b.flushBuf = all[:0]
+}
+
+// MailPending reports whether any deferred delivery is waiting for a
+// Flush — in-flight traffic the cluster's idle/deadlock checks must see.
+func (b *Backplane) MailPending() bool {
+	for _, ob := range b.out {
+		if len(ob.mail) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // Stats returns cumulative launch counts: every packet handed to Send
 // (including ones the fault plan then dropped), with retransmissions
-// broken out so goodput vs. wire throughput is measurable.
+// broken out so goodput vs. wire throughput is measurable. Sums the
+// per-sender shards.
 func (b *Backplane) Stats() (packets, bytes, retransPackets, retransBytes uint64) {
-	return b.packets, b.bytes, b.retransPkts, b.retransBytes
+	for _, id := range b.ids {
+		ob := b.out[id]
+		packets += ob.packets
+		bytes += ob.bytes
+		retransPackets += ob.retransPkts
+		retransBytes += ob.retransBytes
+	}
+	return
 }
 
 // Nodes returns the number of attached endpoints.

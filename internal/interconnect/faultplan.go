@@ -72,8 +72,22 @@ type FaultStats struct {
 	DupDataBytes       uint64 // payload bytes of fabric-created data copies
 }
 
+// add folds another shard's counts in (used to sum per-sender shards).
+func (s *FaultStats) add(o FaultStats) {
+	s.Drops += o.Drops
+	s.FlapDrops += o.FlapDrops
+	s.Dups += o.Dups
+	s.Corrupts += o.Corrupts
+	s.Delays += o.Delays
+	s.DroppedDataPackets += o.DroppedDataPackets
+	s.DroppedDataBytes += o.DroppedDataBytes
+	s.DupDataBytes += o.DupDataBytes
+}
+
 // linkFault is the per-directed-link fault state: one RNG stream and a
-// flap phase, both pure functions of (plan seed, src, dst).
+// flap phase, both pure functions of (plan seed, src, dst). It lives in
+// the *sender's* outbox shard (keyed by destination), so concurrent
+// windows on different nodes never share an RNG.
 type linkFault struct {
 	rng   *sim.RNG
 	phase sim.Cycles
@@ -85,27 +99,33 @@ func linkSeed(seed uint64, src, dst int) uint64 {
 	return seed ^ (uint64(src+1) * 0x9E3779B97F4A7C15) ^ (uint64(dst+1) * 0xC2B2AE3D27D4EB4F)
 }
 
-func (b *Backplane) link(src, dst int) *linkFault {
-	key := [2]int{src, dst}
-	if lf, ok := b.links[key]; ok {
+// link returns (creating if needed) the sender-side fault state for the
+// directed link src→dst. The lazy creation touches only this outbox.
+func (ob *outbox) link(plan FaultPlan, src, dst int) *linkFault {
+	if lf, ok := ob.links[dst]; ok {
 		return lf
 	}
-	s := linkSeed(b.plan.Seed, src, dst)
+	s := linkSeed(plan.Seed, src, dst)
 	lf := &linkFault{rng: sim.NewRNG(s)}
-	if b.plan.FlapPeriod > 0 {
-		lf.phase = sim.Cycles(s>>17) % b.plan.FlapPeriod
+	if plan.FlapPeriod > 0 {
+		lf.phase = sim.Cycles(s>>17) % plan.FlapPeriod
 	}
-	b.links[key] = lf
+	ob.links[dst] = lf
 	return lf
 }
 
 // LinkDown reports whether the directed link src→dst is inside a flap
-// outage at the given (sender-clock) time.
+// outage at the given (sender-clock) time. Callers must only ask about
+// links whose source is attached (Send's precondition anyway).
 func (b *Backplane) LinkDown(src, dst int, at sim.Cycles) bool {
 	if b.plan.FlapPeriod == 0 || b.plan.FlapDown == 0 {
 		return false
 	}
-	lf := b.link(src, dst)
+	ob := b.out[src]
+	if ob == nil {
+		return false
+	}
+	lf := ob.link(b.plan, src, dst)
 	return (at+lf.phase)%b.plan.FlapPeriod < b.plan.FlapDown
 }
 
@@ -121,14 +141,15 @@ type wireOutcome struct {
 
 // perturb draws the plan's verdict for a packet launched at start. The
 // draws are unconditional so one packet always consumes the same number
-// of stream values regardless of outcome.
-func (b *Backplane) perturb(pkt *Packet, start sim.Cycles) wireOutcome {
+// of stream values regardless of outcome. All state it touches lives in
+// the sender's outbox shard.
+func (b *Backplane) perturb(ob *outbox, pkt *Packet, start sim.Cycles) wireOutcome {
 	var out wireOutcome
 	p := b.plan
 	if !p.Enabled() {
 		return out
 	}
-	lf := b.link(pkt.Src, pkt.Dst)
+	lf := ob.link(p, pkt.Src, pkt.Dst)
 	dropDraw := lf.rng.Float64()
 	dupDraw := lf.rng.Float64()
 	corruptDraw := lf.rng.Float64()

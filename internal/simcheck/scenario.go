@@ -182,31 +182,70 @@ type scenario struct {
 	trail      []trace.Event
 	trailNode  int
 
+	// inStep is true while cluster workers are running a window; fail()
+	// then buffers into the caller's per-node slice (procViol) instead
+	// of the shared record, and collect() merges the buffers in node
+	// order at the barrier — so the violation list is identical at every
+	// worker count.
+	inStep   bool
+	procViol [][]Violation
+
 	lastNow []sim.Cycles
 
 	procs []procInfo
 	kills []killPlan
 
-	remote      *remotePlan
+	remote *remotePlan
+	// pendingPfns is the receiver's exported window awaiting barrier
+	// publication: the receiver writes it mid-window (touching only its
+	// own node), and publishControl() maps it into the *sender's* NIPT
+	// at the next barrier, when no worker is running.
+	pendingPfns []uint32
 	windowReady bool
 	stopRecv    bool
 	drained     bool // DrainHardware ran: nothing is in flight anywhere
 }
 
-// fail records a violation, capturing the node's event trail on the
-// first one.
+// fail records a violation. At a barrier (auditor, kill plan, final
+// verification) it lands directly in the shared record; mid-window,
+// when node processes run on parallel workers, it is buffered in the
+// failing node's private slice and merged at the next barrier.
 func (s *scenario) fail(node int, invariant, detail string) {
+	v := Violation{Node: node, Step: s.step, Invariant: invariant, Detail: detail}
+	if s.inStep {
+		if len(s.procViol[node]) > s.opts.MaxViolations {
+			return // already beyond what collect() could ever keep
+		}
+		s.procViol[node] = append(s.procViol[node], v)
+		return
+	}
+	s.record(v)
+}
+
+// record appends one violation to the shared list, capturing the
+// node's event trail on the first finding. Barrier-only.
+func (s *scenario) record(v Violation) {
 	if len(s.violations) >= s.opts.MaxViolations {
 		s.overflow = true
 		return
 	}
 	if len(s.violations) == 0 {
-		s.trail = s.tracers[node].Tail(24)
-		s.trailNode = node
+		s.trail = s.tracers[v.Node].Tail(24)
+		s.trailNode = v.Node
 	}
-	s.violations = append(s.violations, Violation{
-		Node: node, Step: s.step, Invariant: invariant, Detail: detail,
-	})
+	s.violations = append(s.violations, v)
+}
+
+// collect merges the per-node mid-window violation buffers into the
+// shared record, in node order — a deterministic sequence no matter
+// which worker goroutine found what first.
+func (s *scenario) collect() {
+	for node := range s.procViol {
+		for _, v := range s.procViol[node] {
+			s.record(v)
+		}
+		s.procViol[node] = s.procViol[node][:0]
+	}
 }
 
 func (s *scenario) capped() bool {
@@ -257,12 +296,15 @@ func buildScenario(seed uint64, opts Options) *scenario {
 			Reliability: nic.ReliabilityConfig{Enabled: cfg.Lossy},
 		},
 		Window:          cfg.Window,
+		Workers:         opts.Workers,
 		FaultInject:     cfg.FaultInject,
 		FaultSeed:       seed,
 		FaultRejectRate: cfg.FaultRejectRate,
 		FaultFailRate:   cfg.FaultFailRate,
 		Fault:           cfg.faultPlan(seed),
+		Metrics:         opts.Metrics,
 	})
+	s.procViol = make([][]Violation, cfg.Nodes)
 
 	for i, n := range s.cl.Nodes {
 		tr := trace.New(n.Clock, 512)
@@ -565,15 +607,32 @@ func (s *scenario) receiverBody(node int, p *kernel.Proc) {
 		s.opError(node, "export buffer", err)
 		return
 	}
-	if err := udmalib.MapSendWindow(s.cl.NICs[rp.senderNode], 0, node, pfns); err != nil {
-		s.opError(node, "map send window", err)
-		return
-	}
-	rp.pfns = pfns
-	s.windowReady = true
+	// Mapping the window writes the *sender's* NIPT — another node's
+	// hardware, off-limits mid-window. Park the export for barrier
+	// publication (publishControl) instead; senders poll windowReady.
+	s.pendingPfns = pfns
 	for !s.stopRecv {
 		p.Sleep(1500)
 	}
+}
+
+// publishControl performs cross-node control-plane actions parked by
+// process bodies. Called at window barriers only, when no worker is
+// running: the receiver's exported window is mapped into the sender's
+// NIPT here, so the NIPT write is ordered identically at every worker
+// count.
+func (s *scenario) publishControl() {
+	rp := s.remote
+	if rp == nil || s.windowReady || s.pendingPfns == nil {
+		return
+	}
+	if err := udmalib.MapSendWindow(s.cl.NICs[rp.senderNode], 0, rp.recvNode, s.pendingPfns); err != nil {
+		s.opError(rp.recvNode, "map send window", err)
+		s.pendingPfns = nil
+		return
+	}
+	rp.pfns = s.pendingPfns
+	s.windowReady = true
 }
 
 // opLocalSend transfers a random payload to this process's private

@@ -21,6 +21,8 @@ import (
 	"strings"
 
 	"shrimp/internal/kernel"
+	"shrimp/internal/sweep"
+	"shrimp/internal/telemetry"
 	"shrimp/internal/trace"
 )
 
@@ -47,6 +49,15 @@ type Options struct {
 	// MaxViolations stops the run after this many findings (default 8);
 	// one broken invariant tends to trip the auditor every window.
 	MaxViolations int
+	// Workers sets cluster.Config.Workers: how many host goroutines run
+	// node windows in parallel. Any value yields the same fingerprint,
+	// violations, metrics and traces as Workers=1 — the tentpole
+	// invariant TestSimCheckWorkerEquivalence holds over seeds.
+	Workers int
+	// Metrics attaches a telemetry registry to the scenario's cluster
+	// (nil = instruments off). Used by the parallel-determinism tests to
+	// compare snapshots across worker counts.
+	Metrics *telemetry.Registry
 }
 
 // Report is the outcome of one seeded run.
@@ -62,6 +73,10 @@ type Report struct {
 	// Fingerprint digests final clocks and hardware/kernel counters;
 	// two runs of the same seed must produce the same fingerprint.
 	Fingerprint uint64
+	// TraceSummaries holds each node's trace.Summary at end of run —
+	// per-kind lifetime event counts, compared across worker counts by
+	// the parallel-determinism tests.
+	TraceSummaries []string
 }
 
 // Failed reports whether any violation was detected.
@@ -110,7 +125,11 @@ func Run(seed uint64, opts Options) *Report {
 	for ; ; step++ {
 		s.step = step
 		s.runKills(step)
+		s.publishControl()
+		s.inStep = true
 		progress, err := s.cl.Step(horizon)
+		s.inStep = false
+		s.collect()
 		if err != nil {
 			s.fail(0, "runtime", err.Error())
 		}
@@ -140,15 +159,32 @@ func Run(seed uint64, opts Options) *Report {
 	}
 	s.finalVerify()
 
-	return &Report{
-		Seed:        seed,
-		Cfg:         s.cfg,
-		Steps:       step + 1,
-		Violations:  s.violations,
-		Trail:       s.trail,
-		TrailNode:   s.trailNode,
-		Fingerprint: s.fingerprint(),
+	summaries := make([]string, len(s.tracers))
+	for i, tr := range s.tracers {
+		summaries[i] = tr.Summary()
 	}
+	return &Report{
+		Seed:           seed,
+		Cfg:            s.cfg,
+		Steps:          step + 1,
+		Violations:     s.violations,
+		Trail:          s.trail,
+		TrailNode:      s.trailNode,
+		Fingerprint:    s.fingerprint(),
+		TraceSummaries: summaries,
+	}
+}
+
+// Sweep runs count seeded scenarios (seeds first..first+count-1), up to
+// workers at a time. Every run builds its own cluster, so runs share
+// nothing and the parallelism is trivially safe; reports come back in
+// seed order, so sweep output is byte-identical at any worker count.
+// (opts.Workers parallelism *within* each run composes freely with
+// this, but for throughput sweeps prefer one worker per seed.)
+func Sweep(first uint64, count, workers int, opts Options) []*Report {
+	return sweep.Run(count, workers, func(i int) *Report {
+		return Run(first+uint64(i), opts)
+	})
 }
 
 // fingerprint digests final simulated time and the counters of every

@@ -2,7 +2,11 @@ package simcheck
 
 import (
 	"flag"
+	"fmt"
+	"runtime"
 	"testing"
+
+	"shrimp/internal/telemetry"
 )
 
 // seedFlag reruns exactly one seed — the one-command repro every
@@ -21,12 +25,11 @@ func TestSimCheck(t *testing.T) {
 		}
 		return
 	}
-	seeds := uint64(256)
+	seeds := 256
 	if testing.Short() {
 		seeds = 64
 	}
-	for seed := uint64(1); seed <= seeds; seed++ {
-		rep := Run(seed, Options{})
+	for _, rep := range Sweep(1, seeds, runtime.GOMAXPROCS(0), Options{}) {
 		if rep.Failed() {
 			t.Fatalf("\n%s", rep.String())
 		}
@@ -56,21 +59,20 @@ func lossyOverride(cfg *ScenarioConfig) {
 // after the retry cap. A subset of seeds is run twice to prove the
 // outcome and telemetry reproduce exactly.
 func TestSimCheckLossySweep(t *testing.T) {
-	seeds := uint64(256)
+	seeds := 256
 	if testing.Short() {
 		seeds = 64
 	}
 	opts := Options{Override: lossyOverride}
-	for seed := uint64(1); seed <= seeds; seed++ {
-		rep := Run(seed, opts)
+	for _, rep := range Sweep(1, seeds, runtime.GOMAXPROCS(0), opts) {
 		if rep.Failed() {
 			t.Fatalf("\n%s", rep.String())
 		}
-		if seed%32 == 0 {
-			again := Run(seed, opts)
+		if rep.Seed%32 == 0 {
+			again := Run(rep.Seed, opts)
 			if again.Fingerprint != rep.Fingerprint {
 				t.Fatalf("seed %d: lossy run not reproducible: %016x vs %016x",
-					seed, rep.Fingerprint, again.Fingerprint)
+					rep.Seed, rep.Fingerprint, again.Fingerprint)
 			}
 		}
 	}
@@ -90,6 +92,62 @@ func TestSimCheckDeterminism(t *testing.T) {
 			t.Errorf("seed %d: runs disagree on violations: %d vs %d",
 				seed, len(a.Violations), len(b.Violations))
 		}
+	}
+}
+
+// TestSimCheckWorkerEquivalence is the acceptance criterion for the
+// parallel execution core: for every seed, a scenario run with eight
+// cluster workers must be indistinguishable from the serial run —
+// identical fingerprint (clocks plus every hardware/kernel counter),
+// identical violations, identical per-node trace summaries.
+func TestSimCheckWorkerEquivalence(t *testing.T) {
+	seeds := uint64(64)
+	if testing.Short() {
+		seeds = 16
+	}
+	for seed := uint64(1); seed <= seeds; seed++ {
+		serial := Run(seed, Options{})
+		par := Run(seed, Options{Workers: 8})
+		if serial.Fingerprint != par.Fingerprint {
+			t.Fatalf("seed %d: workers=8 fingerprint %016x != workers=1 %016x",
+				seed, par.Fingerprint, serial.Fingerprint)
+		}
+		if len(serial.Violations) != len(par.Violations) {
+			t.Fatalf("seed %d: violation counts differ across workers: %d vs %d",
+				seed, len(serial.Violations), len(par.Violations))
+		}
+		if fmt.Sprint(serial.TraceSummaries) != fmt.Sprint(par.TraceSummaries) {
+			t.Fatalf("seed %d: trace summaries differ across workers:\n%v\nvs\n%v",
+				seed, serial.TraceSummaries, par.TraceSummaries)
+		}
+	}
+}
+
+// TestSimCheckLossyWorkerEquivalence is satellite coverage for the same
+// invariant under the hostile-wire mix: a lossy scenario (drops,
+// corruption, duplicates, reordering, retransmission timers) run at
+// workers=1 and workers=8 must agree on the scenario fingerprint, the
+// full telemetry snapshot and every node's trace summary.
+func TestSimCheckLossyWorkerEquivalence(t *testing.T) {
+	run := func(workers int) (*Report, string) {
+		reg := telemetry.New()
+		rep := Run(3, Options{Override: lossyOverride, Workers: workers, Metrics: reg})
+		return rep, fmt.Sprintf("%+v", *reg.Snapshot())
+	}
+	serial, serialSnap := run(1)
+	if serial.Failed() {
+		t.Fatalf("lossy scenario failed serially:\n%s", serial.String())
+	}
+	par, parSnap := run(8)
+	if par.Fingerprint != serial.Fingerprint {
+		t.Fatalf("workers=8 fingerprint %016x != workers=1 %016x", par.Fingerprint, serial.Fingerprint)
+	}
+	if parSnap != serialSnap {
+		t.Fatalf("metric snapshots differ across workers:\n%s\nvs\n%s", parSnap, serialSnap)
+	}
+	if fmt.Sprint(par.TraceSummaries) != fmt.Sprint(serial.TraceSummaries) {
+		t.Fatalf("trace summaries differ across workers:\n%v\nvs\n%v",
+			par.TraceSummaries, serial.TraceSummaries)
 	}
 }
 

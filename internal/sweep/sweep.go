@@ -1,0 +1,55 @@
+// Package sweep is the shared parallel fan-out runner for embarrassingly
+// parallel simulation work: seed sweeps (internal/simcheck), fault- and
+// loss-rate curves (internal/experiments e12/e13), and the fuzz driver.
+//
+// Each work item builds its own simulator instance, so items share no
+// state and determinism is preserved trivially: parallelism changes
+// only wall-clock time, never results. Run returns results in input
+// order regardless of which worker finished first, so callers' output
+// (reports, tables, JSON artifacts) is byte-identical at any worker
+// count — the same invariant internal/cluster maintains for nodes
+// within one simulation.
+package sweep
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Run evaluates fn(0..n-1) using up to workers goroutines and returns
+// the results indexed by input position. workers <= 1 (or n <= 1) runs
+// serially on the calling goroutine. Work is handed out by an atomic
+// counter so a slow item never blocks the others behind a fixed
+// partition.
+func Run[T any](n, workers int, fn func(i int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]T, n)
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

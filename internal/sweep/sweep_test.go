@@ -1,0 +1,34 @@
+package sweep
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunOrderAndCoverage(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 4, 8, 100} {
+		n := 57
+		var calls atomic.Int64
+		got := Run(n, workers, func(i int) int {
+			calls.Add(1)
+			return i * i
+		})
+		if len(got) != n {
+			t.Fatalf("workers=%d: len=%d want %d", workers, len(got), n)
+		}
+		if c := calls.Load(); c != int64(n) {
+			t.Fatalf("workers=%d: %d calls want %d", workers, c, n)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d]=%d want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	if got := Run(0, 4, func(i int) int { return i }); got != nil {
+		t.Fatalf("n=0: got %v want nil", got)
+	}
+}

@@ -1,0 +1,108 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+
+	"shrimp/internal/sim"
+)
+
+// TestScopeConcurrentHammer drives one scope's instruments from many
+// goroutines at once — the shape of parallel cluster execution, where
+// per-node scopes on different workers share a registry (and, for
+// rollup instruments, sometimes the same counter). Totals must be
+// exact: every increment lands, the gauge high-water mark is the true
+// peak, histogram count/sum match what was observed, and every span is
+// accounted for. Run under -race this is also the data-race gate for
+// satellite coverage of the telemetry layer.
+func TestScopeConcurrentHammer(t *testing.T) {
+	const (
+		goroutines = 16
+		perG       = 10_000
+	)
+	reg := New()
+	sc := reg.Scope(L("node", "0"))
+
+	ctr := sc.Counter("hammer_ops")
+	g := sc.Gauge("hammer_level")
+	h := sc.Histogram("hammer_lat_cycles")
+
+	var wg sync.WaitGroup
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				ctr.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(uint64(w*perG + i))
+				if i%100 == 0 {
+					sc.Span("hammer", "op", sim.Cycles(i), sim.Cycles(i+1), uint64(w), "")
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	const total = goroutines * perG
+	if got := ctr.Value(); got != total {
+		t.Errorf("counter lost updates: got %d want %d", got, total)
+	}
+	if got := g.Value(); got != 0 {
+		t.Errorf("gauge level: got %d want 0", got)
+	}
+	if mx := g.Max(); mx < 1 || mx > goroutines {
+		t.Errorf("gauge max %d outside [1,%d]", mx, goroutines)
+	}
+	if got := h.Count(); got != total {
+		t.Errorf("histogram count: got %d want %d", got, total)
+	}
+	// Sum over all observed values w*perG+i = sum of 0..total-1.
+	wantSum := uint64(total) * uint64(total-1) / 2
+	if got := h.Sum(); got != wantSum {
+		t.Errorf("histogram sum: got %d want %d", got, wantSum)
+	}
+	if got := h.Min(); got != 0 {
+		t.Errorf("histogram min: got %d want 0", got)
+	}
+	if got := h.Max(); got != total-1 {
+		t.Errorf("histogram max: got %d want %d", got, total-1)
+	}
+	wantSpans := uint64(goroutines * (perG / 100))
+	if got := reg.SpansTotal(); got != wantSpans {
+		t.Errorf("spans total: got %d want %d", got, wantSpans)
+	}
+	if got := uint64(len(reg.Spans())); got != wantSpans {
+		t.Errorf("spans buffered: got %d want %d", got, wantSpans)
+	}
+}
+
+// TestSpansDeterministicMerge checks that the merged span view is a
+// pure function of what each process recorded, not of recording
+// interleaving: two registries fed the same per-process spans in
+// different wall-clock orders read back identically.
+func TestSpansDeterministicMerge(t *testing.T) {
+	mk := func(order []int) []Span {
+		reg := New()
+		a := reg.Scope(L("node", "0"))
+		b := reg.Scope(L("node", "1"))
+		scopes := []*Scope{a, b}
+		for _, who := range order {
+			sc := scopes[who%2]
+			sc.Span("t", "ev", sim.Cycles(who), sim.Cycles(who+1), uint64(who), "")
+		}
+		return reg.Spans()
+	}
+	// Same multiset per process, different global interleavings.
+	x := mk([]int{0, 2, 4, 1, 3, 5})
+	y := mk([]int{1, 3, 5, 0, 2, 4})
+	if len(x) != len(y) {
+		t.Fatalf("span counts differ: %d vs %d", len(x), len(y))
+	}
+	for i := range x {
+		if x[i] != y[i] {
+			t.Fatalf("span %d differs: %+v vs %+v", i, x[i], y[i])
+		}
+	}
+}

@@ -3,6 +3,7 @@ package telemetry
 import (
 	"math"
 	"math/bits"
+	"sync/atomic"
 )
 
 // Histogram accumulates non-negative integer samples (cycles, bytes)
@@ -15,14 +16,19 @@ import (
 // are tracked alongside so the tails are never extrapolated past
 // observed reality.
 //
+// All fields update atomically so per-node scopes on parallel cluster
+// workers may share one histogram; readouts taken at a barrier (when no
+// worker is recording) are exact. Min is stored encoded as value+1 so
+// that 0 can mean "no samples yet" without a separate flag.
+//
 // The nil Histogram is a valid "metrics off" value: Observe on nil is
 // a no-op, readouts return zero.
 type Histogram struct {
-	buckets [65]uint64
-	count   uint64
-	sum     uint64
-	min     uint64
-	max     uint64
+	buckets [65]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	minEnc  atomic.Uint64 // observed min + 1; 0 = empty
+	max     atomic.Uint64
 }
 
 // Observe records one sample.
@@ -30,15 +36,28 @@ func (h *Histogram) Observe(v uint64) {
 	if h == nil {
 		return
 	}
-	if h.count == 0 || v < h.min {
-		h.min = v
+	enc := v + 1
+	if v == math.MaxUint64 {
+		enc = v // saturate rather than wrap to "empty"
 	}
-	if v > h.max {
-		h.max = v
+	for {
+		cur := h.minEnc.Load()
+		if cur != 0 && cur <= enc {
+			break
+		}
+		if h.minEnc.CompareAndSwap(cur, enc) {
+			break
+		}
 	}
-	h.buckets[bits.Len64(v)]++
-	h.count++
-	h.sum += v
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	h.buckets[bits.Len64(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
 }
 
 // Count returns the number of samples.
@@ -46,7 +65,7 @@ func (h *Histogram) Count() uint64 {
 	if h == nil {
 		return 0
 	}
-	return h.count
+	return h.count.Load()
 }
 
 // Sum returns the sum of all samples.
@@ -54,7 +73,7 @@ func (h *Histogram) Sum() uint64 {
 	if h == nil {
 		return 0
 	}
-	return h.sum
+	return h.sum.Load()
 }
 
 // Min returns the smallest observed sample (0 when empty).
@@ -62,7 +81,11 @@ func (h *Histogram) Min() uint64 {
 	if h == nil {
 		return 0
 	}
-	return h.min
+	enc := h.minEnc.Load()
+	if enc == 0 {
+		return 0
+	}
+	return enc - 1
 }
 
 // Max returns the largest observed sample (0 when empty).
@@ -70,15 +93,15 @@ func (h *Histogram) Max() uint64 {
 	if h == nil {
 		return 0
 	}
-	return h.max
+	return h.max.Load()
 }
 
 // Mean returns the arithmetic mean (0 when empty).
 func (h *Histogram) Mean() float64 {
-	if h == nil || h.count == 0 {
+	if h == nil || h.count.Load() == 0 {
 		return 0
 	}
-	return float64(h.sum) / float64(h.count)
+	return float64(h.sum.Load()) / float64(h.count.Load())
 }
 
 // Quantile returns an estimate of the q-th quantile (q in [0,1]):
@@ -86,18 +109,24 @@ func (h *Histogram) Mean() float64 {
 // interpolated linearly across the bucket's range, clamped to the
 // observed min/max so p0 and p100 are exact.
 func (h *Histogram) Quantile(q float64) float64 {
-	if h == nil || h.count == 0 {
+	if h == nil {
 		return 0
 	}
+	count := h.count.Load()
+	if count == 0 {
+		return 0
+	}
+	min, max := float64(h.Min()), float64(h.max.Load())
 	if q <= 0 {
-		return float64(h.min)
+		return min
 	}
 	if q >= 1 {
-		return float64(h.max)
+		return max
 	}
-	rank := q * float64(h.count)
+	rank := q * float64(count)
 	var cum float64
-	for i, n := range h.buckets {
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
 		if n == 0 {
 			continue
 		}
@@ -106,11 +135,11 @@ func (h *Histogram) Quantile(q float64) float64 {
 			lo, hi := bucketBounds(i)
 			frac := (rank - cum) / float64(n)
 			v := lo + frac*(hi-lo)
-			return math.Max(float64(h.min), math.Min(float64(h.max), v))
+			return math.Max(min, math.Min(max, v))
 		}
 		cum = next
 	}
-	return float64(h.max)
+	return max
 }
 
 // bucketBounds returns the value range [lo, hi] covered by bucket i.

@@ -50,13 +50,27 @@ func (r *Registry) Snapshot() *Snapshot {
 	if r == nil {
 		return s
 	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
 	for k, c := range r.counters {
+		counters[k] = c
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, g := range r.gauges {
+		gauges[k] = g
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, h := range r.hists {
+		hists[k] = h
+	}
+	r.mu.Unlock()
+	for k, c := range counters {
 		s.Counters = append(s.Counters, CounterSnap{Name: k, Value: c.Value()})
 	}
-	for k, g := range r.gauges {
+	for k, g := range gauges {
 		s.Gauges = append(s.Gauges, GaugeSnap{Name: k, Value: g.Value(), Max: g.Max()})
 	}
-	for k, h := range r.hists {
+	for k, h := range hists {
 		s.Histograms = append(s.Histograms, HistSnap{
 			Name: k, Count: h.Count(), Sum: h.Sum(), Min: h.Min(), Max: h.Max(),
 			Mean: h.Mean(), P50: h.Quantile(0.50), P90: h.Quantile(0.90), P99: h.Quantile(0.99),
@@ -65,7 +79,7 @@ func (r *Registry) Snapshot() *Snapshot {
 	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
 	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
 	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
-	s.SpansTotal = r.spansTotal
+	s.SpansTotal = r.SpansTotal()
 	return s
 }
 

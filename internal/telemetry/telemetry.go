@@ -2,7 +2,7 @@
 // registry of counters, gauges and log-bucketed latency histograms,
 // plus span-style timers, all keyed by name and small label sets.
 //
-// Two properties are load-bearing and guarded by tests:
+// Three properties are load-bearing and guarded by tests:
 //
 //   - Pure observer. Recording reads the simulated clock but never
 //     advances it, schedules no events, and consumes no randomness, so
@@ -16,6 +16,15 @@
 //     pointers resolved once at attach time, and a nil receiver is a
 //     no-op. The hot paths pay one nil check per record point.
 //
+//   - Safe under concurrent scopes. When internal/cluster runs nodes on
+//     parallel workers, each node records through its own per-node
+//     scope into the shared registry. Counters, gauges and histograms
+//     use atomics; spans shard by process (node) with a per-shard lock
+//     and merge deterministically at read time (sorted process order,
+//     then stable by start cycle) — so a snapshot taken after a barrier
+//     is byte-identical regardless of worker count or goroutine
+//     scheduling.
+//
 // Instruments are identified by a name plus an ordered label set
 // ("udma_xfer_latency_cycles{node=0}"). Cycle-valued histograms use the
 // _cycles suffix by convention; exporters convert to microseconds with
@@ -26,6 +35,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"shrimp/internal/sim"
 )
@@ -39,22 +50,23 @@ type Label struct {
 func L(key, value string) Label { return Label{Key: key, Value: value} }
 
 // Counter is a monotonically increasing count. The nil Counter is a
-// valid "metrics off" value: Add and Inc on nil are no-ops.
+// valid "metrics off" value: Add and Inc on nil are no-ops. Updates are
+// atomic, so scopes on different workers may share one counter.
 type Counter struct {
-	v uint64
+	v atomic.Uint64
 }
 
 // Inc adds one.
 func (c *Counter) Inc() {
 	if c != nil {
-		c.v++
+		c.v.Add(1)
 	}
 }
 
 // Add adds n.
 func (c *Counter) Add(n uint64) {
 	if c != nil {
-		c.v += n
+		c.v.Add(n)
 	}
 }
 
@@ -63,14 +75,27 @@ func (c *Counter) Value() uint64 {
 	if c == nil {
 		return 0
 	}
-	return c.v
+	return c.v.Load()
 }
 
 // Gauge is a point-in-time level (queue depth, bytes outstanding) that
-// also tracks its high-water mark. Nil-safe like Counter.
+// also tracks its high-water mark. Nil-safe like Counter. Add is an
+// atomic read-modify-write so concurrent deltas never lose updates; Set
+// is a plain store and should only race with itself when callers accept
+// last-writer-wins semantics (per-node gauges never share writers).
 type Gauge struct {
-	v   int64
-	max int64
+	v   atomic.Int64
+	max atomic.Int64
+}
+
+// updateMax raises the high-water mark to at least v.
+func (g *Gauge) updateMax(v int64) {
+	for {
+		cur := g.max.Load()
+		if v <= cur || g.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
 }
 
 // Set replaces the level.
@@ -78,10 +103,8 @@ func (g *Gauge) Set(v int64) {
 	if g == nil {
 		return
 	}
-	g.v = v
-	if v > g.max {
-		g.max = v
-	}
+	g.v.Store(v)
+	g.updateMax(v)
 }
 
 // Add moves the level by delta.
@@ -89,7 +112,7 @@ func (g *Gauge) Add(delta int64) {
 	if g == nil {
 		return
 	}
-	g.Set(g.v + delta)
+	g.updateMax(g.v.Add(delta))
 }
 
 // Value returns the current level (0 on nil).
@@ -97,7 +120,7 @@ func (g *Gauge) Value() int64 {
 	if g == nil {
 		return 0
 	}
-	return g.v
+	return g.v.Load()
 }
 
 // Max returns the high-water mark (0 on nil).
@@ -105,25 +128,24 @@ func (g *Gauge) Max() int64 {
 	if g == nil {
 		return 0
 	}
-	return g.max
+	return g.max.Load()
 }
 
-// Registry holds every instrument and the span ring. The zero value is
-// unusable; call New. A nil *Registry is a valid "metrics off" value:
-// every method on nil returns nil instruments or empty results.
+// Registry holds every instrument and the per-process span shards. The
+// zero value is unusable; call New. A nil *Registry is a valid "metrics
+// off" value: every method on nil returns nil instruments or empty
+// results. The mutex guards only the instrument maps and shard
+// directory — instrument updates themselves are lock-free.
 type Registry struct {
+	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
-
-	spans      []Span
-	spanNext   int
-	spanFull   bool
-	spansTotal uint64
+	shards   map[string]*spanShard
 }
 
-// DefaultSpanCapacity bounds the span ring: newest spans are kept,
-// SpansTotal keeps the lifetime count (same windowed-vs-lifetime
+// DefaultSpanCapacity bounds each process's span ring: newest spans are
+// kept, SpansTotal keeps the lifetime count (same windowed-vs-lifetime
 // contract as trace.Tracer).
 const DefaultSpanCapacity = 32768
 
@@ -133,7 +155,7 @@ func New() *Registry {
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
-		spans:    make([]Span, DefaultSpanCapacity),
+		shards:   make(map[string]*spanShard),
 	}
 }
 
@@ -165,6 +187,8 @@ func (r *Registry) Counter(name string, labels ...Label) *Counter {
 		return nil
 	}
 	k := key(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	c, ok := r.counters[k]
 	if !ok {
 		c = &Counter{}
@@ -179,6 +203,8 @@ func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
 		return nil
 	}
 	k := key(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	g, ok := r.gauges[k]
 	if !ok {
 		g = &Gauge{}
@@ -194,6 +220,8 @@ func (r *Registry) Histogram(name string, labels ...Label) *Histogram {
 		return nil
 	}
 	k := key(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	h, ok := r.hists[k]
 	if !ok {
 		h = &Histogram{}
@@ -216,44 +244,113 @@ type Span struct {
 	Detail string
 }
 
-// RecordSpan appends a span to the ring. Nil-safe.
+// spanShard is one process's span ring. All spans for a given Proc land
+// in the same shard; under parallel cluster execution each node is one
+// process, so a shard has exactly one writer per window and the lock is
+// uncontended. Ring storage grows on demand up to DefaultSpanCapacity,
+// then wraps (oldest spans overwritten, total keeps counting).
+type spanShard struct {
+	mu    sync.Mutex
+	spans []Span
+	next  int
+	full  bool
+	total uint64
+}
+
+func (sh *spanShard) record(s Span) {
+	sh.mu.Lock()
+	sh.total++
+	if !sh.full && len(sh.spans) < DefaultSpanCapacity {
+		sh.spans = append(sh.spans, s)
+	} else {
+		sh.spans[sh.next] = s
+		sh.next++
+		if sh.next == len(sh.spans) {
+			sh.next = 0
+		}
+		sh.full = true
+	}
+	sh.mu.Unlock()
+}
+
+// ordered returns the shard's buffered spans, oldest first.
+func (sh *spanShard) ordered() []Span {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if !sh.full {
+		return append([]Span(nil), sh.spans...)
+	}
+	out := make([]Span, 0, len(sh.spans))
+	out = append(out, sh.spans[sh.next:]...)
+	out = append(out, sh.spans[:sh.next]...)
+	return out
+}
+
+// shard returns (creating if needed) the span shard for a process.
+func (r *Registry) shard(proc string) *spanShard {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sh, ok := r.shards[proc]
+	if !ok {
+		sh = &spanShard{}
+		r.shards[proc] = sh
+	}
+	return sh
+}
+
+// RecordSpan appends a span to its process's ring. Nil-safe.
 func (r *Registry) RecordSpan(s Span) {
 	if r == nil {
 		return
 	}
-	r.spans[r.spanNext] = s
-	r.spanNext++
-	r.spansTotal++
-	if r.spanNext == len(r.spans) {
-		r.spanNext = 0
-		r.spanFull = true
-	}
+	r.shard(s.Proc).record(s)
 }
 
-// Spans returns the buffered spans, oldest first (the windowed view;
-// SpansTotal counts every span ever recorded).
+// Spans returns the buffered spans merged across processes: shards are
+// visited in sorted process order and the concatenation is stably
+// sorted by start cycle, so the result is a deterministic function of
+// what each process recorded — independent of which worker recorded
+// first in wall-clock time. (SpansTotal counts every span ever
+// recorded; this is the windowed view.)
 func (r *Registry) Spans() []Span {
 	if r == nil {
 		return nil
 	}
-	if !r.spanFull {
-		out := make([]Span, r.spanNext)
-		copy(out, r.spans[:r.spanNext])
-		return out
+	r.mu.Lock()
+	procs := make([]string, 0, len(r.shards))
+	for p := range r.shards {
+		procs = append(procs, p)
 	}
-	out := make([]Span, 0, len(r.spans))
-	out = append(out, r.spans[r.spanNext:]...)
-	out = append(out, r.spans[:r.spanNext]...)
+	shards := make([]*spanShard, 0, len(procs))
+	sort.Strings(procs)
+	for _, p := range procs {
+		shards = append(shards, r.shards[p])
+	}
+	r.mu.Unlock()
+
+	var out []Span
+	for _, sh := range shards {
+		out = append(out, sh.ordered()...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
 	return out
 }
 
 // SpansTotal returns how many spans were recorded, including ones the
-// ring has overwritten.
+// rings have overwritten.
 func (r *Registry) SpansTotal() uint64 {
 	if r == nil {
 		return 0
 	}
-	return r.spansTotal
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var total uint64
+	for _, sh := range r.shards {
+		sh.mu.Lock()
+		total += sh.total
+		sh.mu.Unlock()
+	}
+	return total
 }
 
 // Scope is a registry handle with a pre-bound label set (typically
@@ -264,6 +361,7 @@ type Scope struct {
 	reg    *Registry
 	labels []Label
 	proc   string
+	shard  *spanShard
 }
 
 // Scope binds labels (sorted by key for a canonical identity). The
@@ -282,7 +380,7 @@ func (r *Registry) Scope(labels ...Label) *Scope {
 			proc = "node" + l.Value
 		}
 	}
-	return &Scope{reg: r, labels: ls, proc: proc}
+	return &Scope{reg: r, labels: ls, proc: proc, shard: r.shard(proc)}
 }
 
 // Registry returns the underlying registry (nil for a nil scope).
@@ -318,12 +416,13 @@ func (s *Scope) Histogram(name string) *Histogram {
 }
 
 // Span records a timed interval on the given track, grouped under the
-// scope's node process. Nil-safe.
+// scope's node process. Nil-safe. The shard was resolved at scope
+// construction, so the hot path takes only the shard's own lock.
 func (s *Scope) Span(track, name string, start, end sim.Cycles, value uint64, detail string) {
 	if s == nil {
 		return
 	}
-	s.reg.RecordSpan(Span{
+	s.shard.record(Span{
 		Proc: s.proc, Track: track, Name: name,
 		Start: start, End: end, Value: value, Detail: detail,
 	})
