@@ -2,7 +2,7 @@ GO ?= go
 GOFMT ?= gofmt
 FUZZTIME ?= 10s
 
-.PHONY: all build vet fmt test race check bench experiments faults lossy fuzz simcheck cover
+.PHONY: all build vet fmt test race check bench experiments faults lossy fuzz simcheck cover profile
 
 all: check
 
@@ -35,6 +35,12 @@ bench:
 
 experiments:
 	$(GO) run ./cmd/udmabench
+
+# profile captures pprof artifacts from the parallel-core experiment
+# (e14): the hot window loop, barrier merge and worker fan-out.
+# Inspect with `go tool pprof cpu.pprof` / `go tool pprof mem.pprof`.
+profile:
+	$(GO) run ./cmd/udmabench -exp e14 -cpuprofile cpu.pprof -memprofile mem.pprof
 
 faults:
 	$(GO) run ./cmd/shrimpsim -scenario faults

@@ -33,6 +33,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"shrimp/internal/addr"
@@ -63,12 +65,43 @@ func main() {
 		metricsOut = flag.String("metrics-out", "", "write the telemetry snapshot as JSON to this file")
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace_event JSON file (Perfetto) to this file")
 		workers    = flag.Int("workers", 1, "host goroutines: cluster node windows, fuzz seeds and experiment sweeps (results identical at any value)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the scenario to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
 	flag.Parse()
 	if *workers < 1 {
 		*workers = 1
 	}
 	experiments.SetSweepWorkers(*workers)
+
+	if *cpuprofile != "" {
+		f, perr := os.Create(*cpuprofile)
+		if perr == nil {
+			perr = pprof.StartCPUProfile(f)
+		}
+		if perr != nil {
+			fmt.Fprintf(os.Stderr, "shrimpsim: cpuprofile: %v\n", perr)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, perr := os.Create(*memprofile)
+			if perr != nil {
+				fmt.Fprintf(os.Stderr, "shrimpsim: memprofile: %v\n", perr)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			if perr := pprof.Lookup("allocs").WriteTo(f, 0); perr != nil {
+				fmt.Fprintf(os.Stderr, "shrimpsim: memprofile: %v\n", perr)
+			}
+		}()
+	}
 
 	o := newObs(*metrics, *metricsOut, *traceOut)
 

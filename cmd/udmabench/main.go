@@ -12,6 +12,8 @@
 //	udmabench -json FILE   # write per-experiment headline metrics as JSON
 //	udmabench -plot        # draw ASCII plots for series (Figure 8 etc.)
 //	udmabench -workers N   # fan rate/seed sweeps inside experiments over N goroutines
+//	udmabench -cpuprofile cpu.pprof -memprofile mem.pprof
+//	                       # profile the run (e.g. -exp e14 for the parallel core)
 package main
 
 import (
@@ -21,29 +23,70 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"shrimp/internal/experiments"
 )
 
 func main() {
+	// The real work lives in run() so profile teardown (deferred there)
+	// happens before the process exits — os.Exit in main would truncate
+	// the CPU profile.
+	os.Exit(run())
+}
+
+func run() int {
 	var (
-		exp     = flag.String("exp", "", "run a single experiment id (e1..e10)")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		csv     = flag.String("csv", "", "directory to write CSV output into")
-		jsonOut = flag.String("json", "", "write per-experiment headline metrics as JSON to this file")
-		plot    = flag.Bool("plot", false, "render ASCII plots for series")
-		workers = flag.Int("workers", 1, "host goroutines for the sweeps inside experiments (results identical at any value)")
+		exp        = flag.String("exp", "", "run a single experiment id (e1..e10)")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		csv        = flag.String("csv", "", "directory to write CSV output into")
+		jsonOut    = flag.String("json", "", "write per-experiment headline metrics as JSON to this file")
+		plot       = flag.Bool("plot", false, "render ASCII plots for series")
+		workers    = flag.Int("workers", 1, "host goroutines for the sweeps inside experiments (results identical at any value)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
 	flag.Parse()
 	experiments.SetSweepWorkers(*workers)
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "udmabench: cpuprofile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "udmabench: cpuprofile: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "udmabench: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "udmabench: memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {
 			title, _ := experiments.Title(id)
 			fmt.Printf("%-4s %s\n", id, title)
 		}
-		return
+		return 0
 	}
 
 	ids := experiments.IDs()
@@ -57,14 +100,14 @@ func main() {
 		res, err := experiments.Run(id)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "udmabench: %s: %v\n", id, err)
-			os.Exit(1)
+			return 1
 		}
 		results = append(results, res)
 		printResult(res, *plot)
 		if *csv != "" {
 			if err := writeCSV(*csv, res); err != nil {
 				fmt.Fprintf(os.Stderr, "udmabench: csv: %v\n", err)
-				os.Exit(1)
+				return 1
 			}
 		}
 		if !res.Passed() {
@@ -74,13 +117,14 @@ func main() {
 	if *jsonOut != "" {
 		if err := writeJSON(*jsonOut, results); err != nil {
 			fmt.Fprintf(os.Stderr, "udmabench: json: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "udmabench: %d experiment(s) failed their shape checks\n", failed)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // jsonExperiment is the machine-readable record emitted per experiment:

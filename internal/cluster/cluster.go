@@ -105,6 +105,31 @@ type Cluster struct {
 	window  sim.Cycles
 	workers int
 	metrics *telemetry.Registry
+
+	// Parallel-window machinery, allocated once at New so a steady-state
+	// barrier round allocates nothing: the persistent worker pool, the
+	// per-node scratch for clock snapshots / per-node horizons / window
+	// results, and the prebuilt fan-out closure.
+	pool     *sweep.Pool
+	nows     []sim.Cycles
+	horizons []sim.Cycles
+	stepRes  []stepResult
+	stepFn   func(int)
+
+	// stepCap bounds per-link horizon extension. Run sets it to the run
+	// limit so a lookahead-extended node never simulates past the time
+	// the caller asked for; direct Step callers get sim.Forever (the
+	// extension is still bounded by the other clocks plus one flight).
+	stepCap sim.Cycles
+
+	rounds uint64 // barrier rounds executed (Step calls)
+}
+
+// stepResult is one node's window outcome, written into the
+// preallocated stepRes slot by the worker that ran the node.
+type stepResult struct {
+	moved bool
+	err   error
 }
 
 // Dev returns the device attached to node i's proxy pages: the fault
@@ -175,18 +200,41 @@ func New(cfg Config) *Cluster {
 		c.NICs = append(c.NICs, iface)
 		c.Faulty = append(c.Faulty, faulty)
 	}
+	c.pool = sweep.NewPool(workers)
+	c.nows = make([]sim.Cycles, cfg.Nodes)
+	c.horizons = make([]sim.Cycles, cfg.Nodes)
+	c.stepRes = make([]stepResult, cfg.Nodes)
+	c.stepFn = c.runNodeWindow
+	c.stepCap = sim.Forever
 	return c
 }
 
 // Run drives all nodes until every process on every node has exited or
 // each node's clock has passed limit. Per-node deadlocks are expected
-// while a node waits for a packet another node has not sent yet; a
-// whole round in which no node makes progress and none has pending
-// events ends the run.
+// while a node waits for a packet another node has not sent yet; the
+// run ends with kernel.ErrDeadlock only when no node has anything left
+// that could ever run (NextRunnable finds nothing).
+//
+// Each round re-bases the horizon on the furthest-behind clock —
+// max(horizon, MinNow()) + window — instead of marching by fixed
+// +window increments, so a processor that overshot its window (charge()
+// yields only after the clock moves) is caught in one round rather than
+// ceil(overshoot/window) empty barrier rounds. A round that still makes
+// no progress skips the horizon straight to the next runnable time
+// (earliest pending event, or an overshot clock), so sparse timelines —
+// a retransmit timer 100k cycles out, a sleeping benchmark loop — cost
+// one barrier instead of dozens of no-op flush/run/join cycles.
 func (c *Cluster) Run(limit sim.Cycles) error {
-	horizon := c.MinNow() + c.window
+	c.stepCap = limit
+	defer func() { c.stepCap = sim.Forever }()
+	var horizon sim.Cycles
 	for {
-		if horizon > limit {
+		base := c.MinNow()
+		if horizon > base {
+			base = horizon
+		}
+		horizon = base + c.window
+		if horizon < base || horizon > limit {
 			horizon = limit
 		}
 		progress, err := c.Step(horizon)
@@ -198,18 +246,51 @@ func (c *Cluster) Run(limit sim.Cycles) error {
 			return nil
 		}
 		if horizon >= limit {
+			// The final window's sends are still parked in the outbox
+			// mailboxes. Flush them onto the receiver clocks (without
+			// running anything — limit is reached) so callers reading
+			// NIC/backplane state after a limit-bounded run see every
+			// in-flight packet accounted for.
+			c.Backplane.Flush()
 			return nil
 		}
-		// A processor may overshoot the horizon (charge() only yields
-		// after the clock moves), making the next window a no-op round;
-		// that is not a deadlock until the horizon has caught up with
-		// every clock and still nothing runs.
-		if !progress && !c.AnyPending() && horizon >= c.MaxNow() {
-			return kernel.ErrDeadlock
+		if !progress {
+			next := c.NextRunnable(horizon)
+			if next == sim.Forever {
+				return kernel.ErrDeadlock
+			}
+			if next > horizon {
+				horizon = next - c.window // re-based to next+window at loop top
+			}
 		}
-		horizon += c.window
 	}
 }
+
+// NextRunnable returns the earliest simulated time after `after` at
+// which any node could do something: the earliest scheduled event on
+// any clock, or the clock of a live (non-exited) node that has overshot
+// `after` and is waiting for the horizon to catch up. sim.Forever means
+// nothing can ever run again — the cluster is deadlocked (deferred mail
+// does not count: callers flush before asking).
+func (c *Cluster) NextRunnable(after sim.Cycles) sim.Cycles {
+	next := sim.Forever
+	for _, n := range c.Nodes {
+		if at, ok := n.Clock.NextEventAt(); ok && at < next {
+			next = at
+		}
+		if !n.Kernel.AllExited() {
+			if now := n.Clock.Now(); now > after && now < next {
+				next = now
+			}
+		}
+	}
+	return next
+}
+
+// Rounds returns the number of barrier rounds (Step calls) executed so
+// far — the denominator for per-window overhead accounting, and what
+// the no-op-window regression tests pin down.
+func (c *Cluster) Rounds() uint64 { return c.rounds }
 
 // Step runs one lockstep window. It is the parallel barrier: first
 // every deferred cross-node delivery from earlier windows is flushed
@@ -228,39 +309,90 @@ func (c *Cluster) Run(limit sim.Cycles) error {
 // between windows, when no process is mid-instruction, no worker is
 // running, and node state is consistent.
 func (c *Cluster) Step(horizon sim.Cycles) (progress bool, err error) {
+	c.rounds++
 	c.Backplane.Flush()
-	type result struct {
-		moved bool
-		err   error
-	}
-	results := sweep.Run(len(c.Nodes), c.workers, func(i int) result {
-		n := c.Nodes[i]
-		before := n.Clock.Now()
-		err := n.Kernel.Run(horizon)
-		if err != nil && !errors.Is(err, kernel.ErrDeadlock) {
-			return result{err: fmt.Errorf("cluster: node %d: %w", n.ID, err)}
-		}
-		if n.Kernel.AllExited() {
-			// The node's software is done but its hardware may not
-			// be: in-flight DMA completions launch packets, receive
-			// DMAs land data other nodes are polling for. Let the
-			// node's clock follow the horizon so those events fire.
-			n.Clock.AdvanceTo(horizon)
-		}
-		return result{moved: n.Clock.Now() != before}
-	})
+	c.computeHorizons(horizon)
+	c.pool.Run(len(c.Nodes), c.stepFn)
 	// Aggregate in node order so the reported error is deterministic.
-	for _, r := range results {
-		if r.moved {
+	for i := range c.stepRes {
+		if c.stepRes[i].moved {
 			progress = true
 		}
 	}
-	for _, r := range results {
-		if r.err != nil {
-			return progress, r.err
+	for i := range c.stepRes {
+		if c.stepRes[i].err != nil {
+			return progress, c.stepRes[i].err
 		}
 	}
 	return progress, nil
+}
+
+// computeHorizons fills c.horizons with each node's window end: the
+// global horizon, extended per node by the Chandy–Misra per-link bound
+// — node i may run to min over senders j of (clock_j + LinkLookahead
+// (j, i)) when that beats the global horizon, because no packet j
+// launches this window can be timestamped for i any earlier (launch
+// time ≥ clock_j, flight ≥ LinkLookahead). On large meshes this is what
+// keeps a far corner of the machine from serializing on the slowest
+// node: distance buys lookahead. The bound is computed at the barrier
+// from barrier-visible clocks only, so it — and therefore the entire
+// simulated schedule — is a pure function of simulation state,
+// independent of worker count. stepCap (the Run limit) caps the
+// extension so a bounded run never simulates past its limit.
+func (c *Cluster) computeHorizons(base sim.Cycles) {
+	for i, n := range c.Nodes {
+		c.nows[i] = n.Clock.Now()
+	}
+	for i := range c.Nodes {
+		bound := sim.Forever
+		for j := range c.Nodes {
+			if j == i {
+				continue
+			}
+			b := c.nows[j] + c.Backplane.LinkLookahead(j, i)
+			if b < c.nows[j] { // overflow: effectively unbounded
+				b = sim.Forever
+			}
+			if b < bound {
+				bound = b
+			}
+		}
+		h := base
+		if bound != sim.Forever && bound > c.stepCap {
+			bound = c.stepCap
+		}
+		if bound != sim.Forever && bound > h {
+			h = bound
+		}
+		c.horizons[i] = h
+	}
+}
+
+// runNodeWindow runs node i's kernel+clock to its window horizon; it is
+// the pool fan-out body, prebuilt at New so Step allocates nothing.
+func (c *Cluster) runNodeWindow(i int) {
+	n := c.Nodes[i]
+	horizon := c.horizons[i]
+	before := n.Clock.Now()
+	err := n.Kernel.Run(horizon)
+	if err != nil && !errors.Is(err, kernel.ErrDeadlock) {
+		c.stepRes[i] = stepResult{err: fmt.Errorf("cluster: node %d: %w", n.ID, err)}
+		return
+	}
+	if n.Kernel.AllExited() {
+		// The node's software is done but its hardware may not
+		// be: in-flight DMA completions launch packets, receive
+		// DMAs land data other nodes are polling for. Let the
+		// node's clock follow the horizon so those events fire.
+		// Coasting over an empty event queue is not progress, though —
+		// counting it as such would hide a stalled cluster behind one
+		// exited node and defeat Run's no-op-window skip-ahead.
+		at, ok := n.Clock.NextEventAt()
+		n.Clock.AdvanceTo(horizon)
+		c.stepRes[i] = stepResult{moved: ok && at <= horizon}
+		return
+	}
+	c.stepRes[i] = stepResult{moved: n.Clock.Now() != before}
 }
 
 // Window returns the configured lockstep horizon step.
@@ -299,11 +431,14 @@ func (c *Cluster) DrainHardware() {
 	}
 }
 
-// Shutdown kills all processes on all nodes.
+// Shutdown kills all processes on all nodes and retires the worker
+// pool. Stepping after Shutdown still works — the pool falls back to a
+// serial loop — so teardown ordering is forgiving.
 func (c *Cluster) Shutdown() {
 	for _, n := range c.Nodes {
 		n.Kernel.Shutdown()
 	}
+	c.pool.Close()
 }
 
 // MaxNow returns the furthest-ahead node clock — the cluster-wide

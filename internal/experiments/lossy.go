@@ -164,13 +164,6 @@ func runLossTrial(rate float64, seed uint64) (*lossTrial, error) {
 	return t, nil
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
 // lossyFingerprint condenses a trial into the tuple two same-seed runs
 // must reproduce exactly.
 func lossyFingerprint(t *lossTrial) string {

@@ -3,48 +3,171 @@ package experiments
 import (
 	"fmt"
 	"hash/fnv"
+	"runtime"
 	"time"
 
 	"shrimp/internal/cluster"
+	"shrimp/internal/interconnect"
 	"shrimp/internal/kernel"
 	"shrimp/internal/machine"
 	"shrimp/internal/nic"
+	"shrimp/internal/sim"
 	"shrimp/internal/stats"
 	"shrimp/internal/udmalib"
 	"shrimp/internal/workload"
 )
 
+// speedupCase is one e14 workload configuration: an all-nodes-sending
+// mesh with per-node compute burners, optionally under a lossy fault
+// plan with the reliability layer recovering underneath.
+type speedupCase struct {
+	name     string
+	nodes    int
+	messages int // per node
+	size     int // bytes per message
+	window   sim.Cycles
+	lossy    bool
+}
+
+// e14Small is the original 8-node ring — kept as the small-config
+// reference point (per-window overhead dominates here, so it is the
+// workload that punishes barrier churn hardest).
+var e14Small = speedupCase{name: "ring8", nodes: 8, messages: 64, size: 4096, window: 10_000}
+
+// e14Large is the speedup-curve config: 32 nodes, thousands of
+// transfers, a window wide enough that each barrier hands every worker
+// real simulated work. The headline speedup_workers_N metrics (and the
+// CI regression floor) are measured on this case.
+var e14Large = speedupCase{name: "mesh32", nodes: 32, messages: 192, size: 4096, window: 20_000}
+
+// e14LargeLossy is e14Large under a lossy wire with reliable delivery:
+// drops, dups, corruption and delays all active, retransmit timers
+// live. Used for fingerprint (determinism) checks only — loss recovery
+// is deterministic but its wall-clock is retransmit-bound, so it is not
+// the speedup headline.
+var e14LargeLossy = speedupCase{name: "mesh32-lossy", nodes: 32, messages: 48, size: 4096, window: 2_000, lossy: true}
+
 // RunParallelSpeedup is E14: the conservative parallel execution core's
-// cost/benefit card. The same 8-node ring workload (every node streams
-// pages to a multi-hop neighbor, with burner processes keeping the
-// schedulers busy) runs at cluster worker counts 1, 2, 4 and 8; for
-// each run the experiment records host wall-clock time and a
-// fingerprint of the simulated outcome. The checks assert what the
-// refactor promises: the simulation is bit-identical at every worker
-// count (speedup is reported as a metric, not asserted — wall-clock on
-// shared CI machines is noisy; determinism is not).
+// cost/benefit card. Each configuration runs at cluster worker counts
+// 1, 2, 4 and 8; for each run the experiment records host wall-clock
+// time, barrier-round counts and a fingerprint of the simulated
+// outcome. The determinism checks are absolute (fingerprints must be
+// byte-identical at every worker count, clean and lossy). The speedup
+// checks are host-aware: parallel workers cannot beat the physics of
+// the machine, so the floors apply only when the host has the cores to
+// meet them (min(workers, NumCPU) sets the attainable ceiling; on a
+// single-core host every floor passes vacuously and the run is purely
+// a determinism check).
 func RunParallelSpeedup() (*Result, error) {
 	res := &Result{
 		ID:    "e14",
 		Title: "Parallel simulation: serial vs parallel wall-clock speedup",
 		Paper: "extension — the paper's nodes run concurrently in hardware; this measures simulating them concurrently",
 	}
+	cpus := runtime.NumCPU()
+	res.metric("host_cpus", float64(cpus))
 
 	workers := []int{1, 2, 4, 8}
-	tbl := stats.NewTable("Conservative parallel execution of an 8-node ring (64 × 4 KB per node)",
-		"workers", "wall ms", "speedup", "sim fingerprint")
-	series := &stats.Series{Name: "simulation speedup vs workers", XLabel: "workers", YLabel: "speedup vs serial"}
 
+	// Small config: report per-window overhead shape, assert determinism.
+	smallTbl := stats.NewTable(
+		fmt.Sprintf("Conservative parallel execution, %d-node ring (%d × %d KB per node)",
+			e14Small.nodes, e14Small.messages, e14Small.size/1024),
+		"workers", "wall ms", "speedup", "rounds", "sim fingerprint")
+	if err := runSpeedupCurve(res, e14Small, workers, smallTbl, "ring8_"); err != nil {
+		return nil, err
+	}
+	res.Tables = append(res.Tables, smallTbl)
+
+	// Large config: the headline speedup curve.
+	largeTbl := stats.NewTable(
+		fmt.Sprintf("Conservative parallel execution, %d-node mesh (%d × %d KB per node)",
+			e14Large.nodes, e14Large.messages, e14Large.size/1024),
+		"workers", "wall ms", "speedup", "rounds", "sim fingerprint")
+	series := &stats.Series{Name: "simulation speedup vs workers (32-node mesh)",
+		XLabel: "workers", YLabel: "speedup vs serial"}
+	speedups, err := runSpeedupCurveSeries(res, e14Large, workers, largeTbl, "", series)
+	if err != nil {
+		return nil, err
+	}
+	res.Tables = append(res.Tables, largeTbl)
+	res.Series = append(res.Series, series)
+
+	// Host-aware speedup floors: a workers=w run can use at most
+	// min(w, NumCPU) cores, so only demand the floor the host can pay.
+	for _, fl := range []struct {
+		workers int
+		floor   float64
+	}{{4, 2.0}, {8, 3.0}} {
+		usable := min(fl.workers, cpus)
+		attainable := speedupFloor(usable)
+		want := min(fl.floor, attainable)
+		if want <= 1.0 {
+			res.check(fmt.Sprintf("speedup at %d workers (host has %d cpus: floor waived)", fl.workers, cpus),
+				true, "single-core host cannot speed up; determinism checks still bind")
+			continue
+		}
+		got := speedups[fl.workers]
+		res.check(fmt.Sprintf("speedup at %d workers >= %.1fx (host has %d cpus)", fl.workers, want, cpus),
+			got >= want, "measured %.2fx on the %d-node mesh", got, e14Large.nodes)
+	}
+
+	// Lossy large config: fingerprint equality only — the reliability
+	// layer's retransmit clockwork must be byte-identical at every
+	// worker count too.
+	lossyTbl := stats.NewTable(
+		fmt.Sprintf("Same mesh under a lossy wire (reliable delivery, %d × %d KB per node)",
+			e14LargeLossy.messages, e14LargeLossy.size/1024),
+		"workers", "wall ms", "speedup", "rounds", "sim fingerprint")
+	if err := runSpeedupCurve(res, e14LargeLossy, workers, lossyTbl, "lossy_"); err != nil {
+		return nil, err
+	}
+	res.Tables = append(res.Tables, lossyTbl)
+
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("host has %d CPU core(s); speedup floors are asserted only up to min(workers, cores)", cpus),
+		"speedup is host wall-clock, so it varies with machine load; the fingerprint equality is the invariant",
+		"each worker runs whole node windows between barriers (deferred-mailbox delivery), so the parallelism never perturbs simulated time",
+		"per-link lookahead extends each node's window to min over senders of (sender clock + link flight floor), so distant mesh corners do not serialize on the slowest node")
+	return res, nil
+}
+
+// speedupFloor maps a usable-core count to the speedup it should buy on
+// this embarrassingly-window-parallel workload (conservative: barriers
+// and the serial flush cost real time).
+func speedupFloor(usableCores int) float64 {
+	switch {
+	case usableCores >= 8:
+		return 3.0
+	case usableCores >= 4:
+		return 2.0
+	case usableCores >= 2:
+		return 1.3
+	default:
+		return 1.0 // serial host: no speedup attainable
+	}
+}
+
+// runSpeedupCurve runs one case across the worker counts, filling the
+// table, emitting metrics under the prefix, and asserting fingerprint
+// equality across worker counts.
+func runSpeedupCurve(res *Result, sc speedupCase, workers []int, tbl *stats.Table, prefix string) error {
+	_, err := runSpeedupCurveSeries(res, sc, workers, tbl, prefix, nil)
+	return err
+}
+
+func runSpeedupCurveSeries(res *Result, sc speedupCase, workers []int, tbl *stats.Table, prefix string, series *stats.Series) (map[int]float64, error) {
 	var baseMS float64
 	var baseFP string
 	identical := true
+	speedups := make(map[int]float64, len(workers))
 	for _, w := range workers {
-		fp, wall, err := parallelSpeedupRun(w)
+		fp, wall, rounds, err := parallelSpeedupRun(sc, w)
 		if err != nil {
-			return nil, fmt.Errorf("workers=%d: %w", w, err)
+			return nil, fmt.Errorf("%s workers=%d: %w", sc.name, w, err)
 		}
 		ms := float64(wall.Microseconds()) / 1000
-		if w == 1 {
+		if w == workers[0] {
 			baseMS, baseFP = ms, fp
 		}
 		if fp != baseFP {
@@ -54,42 +177,51 @@ func RunParallelSpeedup() (*Result, error) {
 		if ms > 0 {
 			speedup = baseMS / ms
 		}
-		series.Add(float64(w), speedup)
+		speedups[w] = speedup
+		if series != nil {
+			series.Add(float64(w), speedup)
+		}
 		tbl.AddRow(fmt.Sprintf("%d", w), fmt.Sprintf("%.1f", ms),
-			fmt.Sprintf("%.2fx", speedup), fp[:16])
-		res.metric(fmt.Sprintf("wall_ms_workers_%d", w), ms)
-		res.metric(fmt.Sprintf("speedup_workers_%d", w), speedup)
+			fmt.Sprintf("%.2fx", speedup), fmt.Sprintf("%d", rounds), fp[:16])
+		res.metric(fmt.Sprintf("%swall_ms_workers_%d", prefix, w), ms)
+		res.metric(fmt.Sprintf("%sspeedup_workers_%d", prefix, w), speedup)
+		if w == workers[0] {
+			res.metric(prefix+"barrier_rounds", float64(rounds))
+		}
 	}
-	res.Tables = append(res.Tables, tbl)
-	res.Series = append(res.Series, series)
-
-	res.check("simulation is bit-identical at every worker count", identical,
+	res.check(fmt.Sprintf("%s: simulation is bit-identical at every worker count", sc.name), identical,
 		"fingerprints at workers 1/2/4/8 must match; base %s", baseFP[:16])
-	res.Notes = append(res.Notes,
-		"speedup is host wall-clock, so it varies with machine load; the fingerprint equality is the invariant",
-		"each worker runs whole node windows between barriers (deferred-mailbox delivery), so the parallelism never perturbs simulated time")
-	return res, nil
+	return speedups, nil
 }
 
-// parallelSpeedupRun executes the fixed ring workload at the given
-// worker count and returns (simulation fingerprint, host wall-clock).
-func parallelSpeedupRun(workers int) (string, time.Duration, error) {
-	const nodes = 8
-	const messages = 64
-	const size = 4096
-	c := cluster.New(cluster.Config{
-		Nodes:   nodes,
+// parallelSpeedupRun executes one case at the given worker count and
+// returns (simulation fingerprint, host wall-clock, barrier rounds).
+func parallelSpeedupRun(sc speedupCase, workers int) (string, time.Duration, uint64, error) {
+	cfg := cluster.Config{
+		Nodes:   sc.nodes,
 		Workers: workers,
+		Window:  sc.window,
 		Machine: machine.Config{RAMFrames: 96, Kernel: kernel.Config{Quantum: 2000}},
 		NIC:     nic.Config{NIPTPages: 16},
-	})
+	}
+	if sc.lossy {
+		cfg.NIC.Reliability = nic.ReliabilityConfig{Enabled: true, Window: 4, MaxPending: 8}
+		cfg.Fault = interconnect.FaultPlan{
+			Seed:     0xE14,
+			DropRate: 0.05, DupRate: 0.02, CorruptRate: 0.02, DelayRate: 0.10,
+		}
+	}
+	c := cluster.New(cfg)
 	defer c.Shutdown()
 
-	errs := make([]error, nodes)
-	for i := 0; i < nodes; i++ {
-		i, dst := i, (i+3)%nodes // multi-hop mesh routes
+	errs := make([]error, sc.nodes)
+	for i := 0; i < sc.nodes; i++ {
+		// Destination stride near half the mesh width forces multi-hop
+		// routes (distance buys per-link lookahead; adjacency would not
+		// exercise it).
+		i, dst := i, (i+sc.nodes/2-1)%sc.nodes
 		if err := udmalib.MapSendWindow(c.NICs[i], 0, dst, []uint32{48}); err != nil {
-			return "", 0, err
+			return "", 0, 0, err
 		}
 		c.Nodes[i].Kernel.Spawn(fmt.Sprintf("sender%d", i), func(p *kernel.Proc) {
 			d, err := udmalib.Open(p, c.NICs[i], true)
@@ -97,17 +229,23 @@ func parallelSpeedupRun(workers int) (string, time.Duration, error) {
 				errs[i] = err
 				return
 			}
-			va, err := p.Alloc(size)
+			va, err := p.Alloc(sc.size)
 			if err != nil {
 				errs[i] = err
 				return
 			}
-			if err := p.WriteBuf(va, workload.Payload(size, byte(i+1))); err != nil {
+			if err := p.WriteBuf(va, workload.Payload(sc.size, byte(i+1))); err != nil {
 				errs[i] = err
 				return
 			}
-			for m := 0; m < messages; m++ {
-				if err := d.Send(va, 0, size); err != nil {
+			for m := 0; m < sc.messages; m++ {
+				if sc.lossy {
+					// Loss is expected; exhausted retries are a
+					// deterministic outcome, not a rig failure.
+					if err := d.SendRetry(va, 0, sc.size, udmalib.RetryPolicy{MaxAttempts: 20, Backoff: 512}); err != nil {
+						return
+					}
+				} else if err := d.Send(va, 0, sc.size); err != nil {
 					errs[i] = err
 					return
 				}
@@ -117,25 +255,28 @@ func parallelSpeedupRun(workers int) (string, time.Duration, error) {
 	}
 	start := time.Now()
 	if err := c.Run(5_000_000_000); err != nil {
-		return "", 0, err
+		return "", 0, 0, err
 	}
 	wall := time.Since(start)
 	for i, err := range errs {
 		if err != nil {
-			return "", 0, fmt.Errorf("sender %d: %w", i, err)
+			return "", 0, 0, fmt.Errorf("sender %d: %w", i, err)
 		}
 	}
 
 	h := fnv.New64a()
-	for i := 0; i < nodes; i++ {
+	for i := 0; i < sc.nodes; i++ {
 		ks := c.Nodes[i].Kernel.Stats()
 		ns := c.NICs[i].Stats()
 		fmt.Fprintf(h, "n%d clock=%d kstats=%+v nic=%+v|", i, c.Nodes[i].Clock.Now(), ks, ns)
 	}
-	pkts, bytes, _, _ := c.Backplane.Stats()
-	if bytes != uint64(nodes*messages*size) {
-		return "", 0, fmt.Errorf("wire carried %d bytes, want %d", bytes, nodes*messages*size)
+	pkts, bytes, rp, rb := c.Backplane.Stats()
+	if !sc.lossy && bytes != uint64(sc.nodes*sc.messages*sc.size) {
+		return "", 0, 0, fmt.Errorf("wire carried %d bytes, want %d", bytes, sc.nodes*sc.messages*sc.size)
 	}
-	fmt.Fprintf(h, "net:%d:%d", pkts, bytes)
-	return fmt.Sprintf("%016x", h.Sum64()), wall, nil
+	if sc.lossy && pkts == 0 {
+		return "", 0, 0, fmt.Errorf("lossy run sent no traffic; fingerprint would be vacuous")
+	}
+	fmt.Fprintf(h, "net:%d:%d:%d:%d fault=%+v", pkts, bytes, rp, rb, c.Backplane.FaultStats())
+	return fmt.Sprintf("%016x", h.Sum64()), wall, c.Rounds(), nil
 }

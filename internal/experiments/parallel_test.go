@@ -1,0 +1,28 @@
+package experiments
+
+import "testing"
+
+// TestE14WorkerEquivalence pins e14's determinism claim at test time on
+// the exact configurations the experiment publishes: the ≥32-node mesh,
+// clean and under the lossy fault plan, must fingerprint byte-identical
+// at workers 1, 2, 4 and 8. (The cluster package has its own 8-node
+// equivalence test; this one covers the large mesh where per-link
+// lookahead extensions actually differ node to node.)
+func TestE14WorkerEquivalence(t *testing.T) {
+	for _, sc := range []speedupCase{e14Large, e14LargeLossy} {
+		var ref string
+		for _, w := range []int{1, 2, 4, 8} {
+			fp, _, _, err := parallelSpeedupRun(sc, w)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", sc.name, w, err)
+			}
+			if w == 1 {
+				ref = fp
+				continue
+			}
+			if fp != ref {
+				t.Fatalf("%s: workers=%d fingerprint %s diverges from serial %s", sc.name, w, fp, ref)
+			}
+		}
+	}
+}

@@ -95,7 +95,6 @@ type Endpoint interface {
 type mailEntry struct {
 	pkt *Packet
 	at  sim.Cycles
-	src int
 	seq uint64
 }
 
@@ -116,24 +115,49 @@ type outbox struct {
 	links  map[int]*linkFault // per-destination fault state
 	fstats FaultStats
 
-	mail []mailEntry // deferred deliveries awaiting Flush
-	seq  uint64      // next mailEntry tie-break sequence
+	// mail holds deferred deliveries awaiting Flush, kept sorted by
+	// (arrival, sequence) as entries are parked so Flush is a pure
+	// k-way merge across shards. cur is the merge cursor.
+	mail []mailEntry
+	seq  uint64 // next mailEntry tie-break sequence
+	cur  int    // Flush merge cursor into mail
+}
+
+// park appends a deferred delivery, keeping the mailbox sorted by
+// (arrival, sequence). Arrival times are mostly nondecreasing — the
+// inject FIFO serializes launches — so the insertion scan from the end
+// is O(1) in the common case; inversions come only from hop-count
+// differences and fault-plan delays, which are bounded. Equal arrivals
+// insert after existing entries, preserving sequence order.
+func (ob *outbox) park(pkt *Packet, at sim.Cycles) {
+	e := mailEntry{pkt: pkt, at: at, seq: ob.seq}
+	ob.seq++
+	mail := append(ob.mail, e)
+	i := len(mail) - 1
+	for i > 0 && mail[i-1].at > at {
+		mail[i] = mail[i-1]
+		i--
+	}
+	mail[i] = e
+	ob.mail = mail
 }
 
 // Backplane is the mesh. Attach every endpoint before sending.
 type Backplane struct {
 	costs *sim.CostModel
-	eps   map[int]Endpoint
-	ids   []int // attached node ids, sorted: deterministic iteration
-	width int   // mesh width for hop counting; recomputed on Attach
+	eps   []Endpoint // indexed by node id; nil when unattached
+	out   []*outbox  // per-sender shard, created at Attach; same indexing
+	ids   []int      // attached node ids, sorted: deterministic iteration
+	n     int        // attached endpoint count
+	width int        // mesh width for hop counting; recomputed on Attach
 
 	deferred bool
-	out      map[int]*outbox // per-sender shard, created at Attach
 
 	plan    FaultPlan
 	tracers map[int]*trace.Tracer // per-sender wire anomaly tracers
 
-	flushBuf []mailEntry // scratch for Flush's merge sort
+	shards  []*outbox        // scratch: mail-bearing shards for one Flush merge
+	schedFn func(*mailEntry) // prebuilt Flush callback, so Flush allocates nothing
 }
 
 // New returns an empty backplane using the given cost model for link
@@ -142,12 +166,20 @@ func New(costs *sim.CostModel) *Backplane {
 	if costs == nil {
 		panic("interconnect: New requires a cost model")
 	}
-	return &Backplane{
+	b := &Backplane{
 		costs:   costs,
-		eps:     make(map[int]Endpoint),
-		out:     make(map[int]*outbox),
 		tracers: make(map[int]*trace.Tracer),
 	}
+	b.schedFn = func(e *mailEntry) { b.schedule(b.eps[e.pkt.Dst], e.pkt, e.at) }
+	return b
+}
+
+// ep returns the endpoint attached as node id, or nil.
+func (b *Backplane) ep(id int) Endpoint {
+	if id < 0 || id >= len(b.eps) {
+		return nil
+	}
+	return b.eps[id]
 }
 
 // SetDeferred switches cross-node deliveries into mailbox mode: Send
@@ -164,8 +196,8 @@ func (b *Backplane) Deferred() bool { return b.deferred }
 // model. Call before traffic starts: per-link RNG streams reset.
 func (b *Backplane) SetFaultPlan(plan FaultPlan) {
 	b.plan = plan
-	for _, ob := range b.out {
-		ob.links = make(map[int]*linkFault)
+	for _, id := range b.ids {
+		b.out[id].links = make(map[int]*linkFault)
 	}
 }
 
@@ -197,14 +229,22 @@ func (b *Backplane) FaultStats() FaultStats {
 // node ID is a wiring bug.
 func (b *Backplane) Attach(ep Endpoint) {
 	id := ep.NodeID()
-	if _, dup := b.eps[id]; dup {
+	if id < 0 {
+		panic(fmt.Sprintf("interconnect: negative node id %d", id))
+	}
+	for id >= len(b.eps) {
+		b.eps = append(b.eps, nil)
+		b.out = append(b.out, nil)
+	}
+	if b.eps[id] != nil {
 		panic(fmt.Sprintf("interconnect: duplicate endpoint for node %d", id))
 	}
 	b.eps[id] = ep
 	b.out[id] = &outbox{links: make(map[int]*linkFault)}
 	b.ids = append(b.ids, id)
 	sort.Ints(b.ids)
-	b.width = int(math.Ceil(math.Sqrt(float64(len(b.eps)))))
+	b.n++
+	b.width = int(math.Ceil(math.Sqrt(float64(b.n))))
 	if b.width < 1 {
 		b.width = 1
 	}
@@ -230,6 +270,18 @@ func (b *Backplane) Lookahead() sim.Cycles {
 	return b.costs.LinkLatency + b.costs.LinkCycles(0)
 }
 
+// LinkLookahead is the per-directed-link conservative bound: the
+// minimum flight time of any packet from src to dst (mesh distance
+// times per-hop routing latency, plus the wire time of an empty
+// packet). A packet launched by src at its current clock can never be
+// timestamped for dst earlier than src's clock plus this — the
+// Chandy–Misra-style per-sender guarantee the cluster uses to extend a
+// receiver's window past the global horizon without ever clamping an
+// arrival (see DESIGN.md §11).
+func (b *Backplane) LinkLookahead(src, dst int) sim.Cycles {
+	return b.Hops(src, dst)*b.costs.LinkLatency + b.costs.LinkCycles(0)
+}
+
 // Send launches a packet from its source endpoint. It serializes with
 // the sender's earlier packets (one outgoing FIFO), then flies across
 // the mesh and is delivered on the receiver's clock — unless the fault
@@ -241,12 +293,12 @@ func (b *Backplane) Lookahead() sim.Cycles {
 // the next Flush; everything Send itself touches lives in the sender's
 // shard, so concurrent sends from different nodes never share state.
 func (b *Backplane) Send(pkt *Packet) sim.Cycles {
-	src, ok := b.eps[pkt.Src]
-	if !ok {
+	src := b.ep(pkt.Src)
+	if src == nil {
 		panic(fmt.Sprintf("interconnect: send from unattached node %d", pkt.Src))
 	}
-	dst, ok := b.eps[pkt.Dst]
-	if !ok {
+	dst := b.ep(pkt.Dst)
+	if dst == nil {
 		panic(fmt.Sprintf("interconnect: send to unattached node %d", pkt.Dst))
 	}
 	ob := b.out[pkt.Src]
@@ -286,6 +338,18 @@ func (b *Backplane) Send(pkt *Packet) sim.Cycles {
 		}
 		return ob.injectFree
 	}
+	// A fabric duplicate is an independent copy that takes its own
+	// flight: snapshot it BEFORE the corruption draw is applied, so one
+	// corrupt draw taints exactly one wire copy. (Snapshotting after
+	// corruption made the byte-ledger disagree with the receiver's CRC
+	// accounting under combined corrupt+dup plans.)
+	var dupPkt *Packet
+	if out.dup {
+		d := *pkt
+		d.Dup = true
+		d.Payload = append([]byte(nil), pkt.Payload...)
+		dupPkt = &d
+	}
 	if out.corrupt {
 		ob.fstats.Corrupts++
 		ob.link(b.plan, pkt.Src, pkt.Dst).corruptPacket(pkt)
@@ -295,16 +359,13 @@ func (b *Backplane) Send(pkt *Packet) sim.Cycles {
 		ob.fstats.Delays++
 		tr.Record(trace.EvWireDelay, uint64(pkt.Dst), uint64(out.extra), pkt.Kind.String())
 	}
-	if out.dup {
+	if dupPkt != nil {
 		ob.fstats.Dups++
-		if pkt.Kind == PktData {
-			ob.fstats.DupDataBytes += uint64(len(pkt.Payload))
+		if dupPkt.Kind == PktData {
+			ob.fstats.DupDataBytes += uint64(len(dupPkt.Payload))
 		}
 		tr.Record(trace.EvWireDup, uint64(pkt.Dst), pkt.Seq, pkt.Kind.String())
-		dup := *pkt
-		dup.Dup = true
-		dup.Payload = append([]byte(nil), pkt.Payload...)
-		b.deliver(ob, dst, &dup, arriveSender+out.dupExtra)
+		b.deliver(ob, dst, dupPkt, arriveSender+out.dupExtra)
 	}
 	b.deliver(ob, dst, pkt, arriveSender+out.extra)
 	return ob.injectFree
@@ -316,8 +377,7 @@ func (b *Backplane) Send(pkt *Packet) sim.Cycles {
 // schedule is race-free and identical at every worker count.
 func (b *Backplane) deliver(ob *outbox, dst Endpoint, pkt *Packet, arriveSender sim.Cycles) {
 	if b.deferred && pkt.Src != pkt.Dst {
-		ob.mail = append(ob.mail, mailEntry{pkt: pkt, at: arriveSender, src: pkt.Src, seq: ob.seq})
-		ob.seq++
+		ob.park(pkt, arriveSender)
 		return
 	}
 	b.schedule(dst, pkt, arriveSender)
@@ -344,33 +404,51 @@ func (b *Backplane) schedule(dst Endpoint, pkt *Packet, arriveSender sim.Cycles)
 // queue — is a pure function of what was sent, independent of both the
 // flush caller and how many worker goroutines ran the windows that
 // produced the mail. Call only at a barrier: no node may be mid-window.
-func (b *Backplane) Flush() {
-	all := b.flushBuf[:0]
+func (b *Backplane) Flush() { b.mergeMail(b.schedFn) }
+
+// mergeMail visits every parked delivery in (arrival, sender, sequence)
+// order and empties the mailboxes. Each mailbox is already sorted by
+// (arrival, sequence) — park maintains that — so the global order is a
+// k-way merge: repeatedly take the earliest head, scanning the active
+// shards in ascending node order so equal arrivals resolve to the
+// lowest sender. The merge reuses the backplane's scratch slice and a
+// prebuilt visit callback, so a steady-state flush allocates nothing
+// (the former sort.Slice allocated a closure and a reflection swapper
+// per window, and re-copied every entry into a shared slab).
+func (b *Backplane) mergeMail(visit func(*mailEntry)) {
+	shards := b.shards[:0]
 	for _, id := range b.ids {
 		ob := b.out[id]
-		all = append(all, ob.mail...)
-		ob.mail = ob.mail[:0]
-	}
-	sort.Slice(all, func(i, j int) bool {
-		if all[i].at != all[j].at {
-			return all[i].at < all[j].at
+		if len(ob.mail) > 0 {
+			ob.cur = 0
+			shards = append(shards, ob)
 		}
-		if all[i].src != all[j].src {
-			return all[i].src < all[j].src
-		}
-		return all[i].seq < all[j].seq
-	})
-	for _, e := range all {
-		b.schedule(b.eps[e.pkt.Dst], e.pkt, e.at)
 	}
-	b.flushBuf = all[:0]
+	for len(shards) > 0 {
+		best := 0
+		bestAt := shards[0].mail[shards[0].cur].at
+		for k := 1; k < len(shards); k++ {
+			if at := shards[k].mail[shards[k].cur].at; at < bestAt {
+				best, bestAt = k, at
+			}
+		}
+		ob := shards[best]
+		visit(&ob.mail[ob.cur])
+		ob.cur++
+		if ob.cur == len(ob.mail) {
+			ob.mail = ob.mail[:0]
+			ob.cur = 0
+			shards = append(shards[:best], shards[best+1:]...)
+		}
+	}
+	b.shards = shards[:0]
 }
 
 // MailPending reports whether any deferred delivery is waiting for a
 // Flush — in-flight traffic the cluster's idle/deadlock checks must see.
 func (b *Backplane) MailPending() bool {
-	for _, ob := range b.out {
-		if len(ob.mail) > 0 {
+	for _, id := range b.ids {
+		if len(b.out[id].mail) > 0 {
 			return true
 		}
 	}
@@ -393,7 +471,7 @@ func (b *Backplane) Stats() (packets, bytes, retransPackets, retransBytes uint64
 }
 
 // Nodes returns the number of attached endpoints.
-func (b *Backplane) Nodes() int { return len(b.eps) }
+func (b *Backplane) Nodes() int { return b.n }
 
 func abs(x int) int {
 	if x < 0 {

@@ -1,0 +1,11 @@
+//go:build !race
+
+// Package raceflag exposes whether the binary was built with the race
+// detector. Exact-allocation assertions (testing.AllocsPerRun == 0) are
+// meaningless under -race — the detector instruments allocations — so
+// those tests skip themselves when Enabled is true, keeping the race CI
+// job focused on what it can actually check: data-race freedom.
+package raceflag
+
+// Enabled reports whether the race detector is compiled in.
+const Enabled = false

@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"shrimp/internal/kernel"
+	"shrimp/internal/sim"
 	"shrimp/internal/sweep"
 	"shrimp/internal/telemetry"
 	"shrimp/internal/trace"
@@ -120,9 +121,18 @@ func Run(seed uint64, opts Options) *Report {
 	s := buildScenario(seed, opts)
 	defer s.cl.Shutdown()
 
-	horizon := s.cl.MinNow() + s.cfg.Window
+	var horizon sim.Cycles
 	step := 0
 	for ; ; step++ {
+		// Re-base on the furthest-behind clock, mirroring cluster.Run:
+		// an overshooting processor is caught up in one round instead of
+		// ceil(overshoot/window) no-op windows (which used to eat into
+		// the MaxSteps liveness budget doing nothing).
+		base := s.cl.MinNow()
+		if horizon > base {
+			base = horizon
+		}
+		horizon = base + s.cfg.Window
 		s.step = step
 		s.runKills(step)
 		s.publishControl()
@@ -148,14 +158,19 @@ func Run(seed uint64, opts Options) *Report {
 			s.fail(0, "liveness", fmt.Sprintf("no completion after %d windows", step))
 			break
 		}
-		// Overshot clocks make no-op windows; only call it a deadlock
-		// once the horizon covers every node's clock and still nothing
-		// runs and nothing is scheduled.
-		if !progress && !s.cl.AnyPending() && horizon >= s.cl.MaxNow() {
-			s.fail(0, "liveness", "cluster deadlock: no progress and no pending events")
-			break
+		if !progress {
+			// Nothing ran and nothing is parked mid-flight: a round that
+			// makes no progress is a deadlock exactly when no node has a
+			// future event or overshot clock to wake to.
+			next := s.cl.NextRunnable(horizon)
+			if next == sim.Forever {
+				s.fail(0, "liveness", "cluster deadlock: no progress and no pending events")
+				break
+			}
+			if next > horizon {
+				horizon = next - s.cfg.Window // re-based past next at loop top
+			}
 		}
-		horizon += s.cfg.Window
 	}
 	s.finalVerify()
 

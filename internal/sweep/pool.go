@@ -1,0 +1,107 @@
+package sweep
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a persistent worker crew for repeated same-shaped fan-outs —
+// the cluster's per-window node stepping, where Run's spawn-per-call
+// goroutines dominated the profile (a lockstep window is tens of
+// microseconds; goroutine creation plus teardown is a large fraction of
+// that, every window, thousands of windows per run).
+//
+// A Pool keeps workers-1 goroutines parked on a wake channel; Run posts
+// one job (fn, n), wakes exactly the helpers the job can use, and joins
+// in on the calling goroutine so the caller's core is never idle. Work
+// items are handed out by an atomic counter, same as Run — a slow item
+// never blocks the rest behind a fixed partition.
+//
+// A Pool is not reentrant: one Run at a time, always from the same
+// owner (the cluster barrier loop). That matches its only use and keeps
+// the steady state allocation-free.
+type Pool struct {
+	workers int
+	wake    chan struct{}
+	busy    sync.WaitGroup
+
+	// Current job; written by Run before any wake, read by helpers.
+	fn   func(int)
+	n    int
+	next atomic.Int64
+}
+
+// NewPool returns a pool that runs fan-outs on up to workers
+// goroutines (the caller counts as one). workers <= 1 spawns nothing;
+// Run then degrades to a plain serial loop.
+func NewPool(workers int) *Pool {
+	p := &Pool{workers: workers}
+	if workers > 1 {
+		p.wake = make(chan struct{})
+		for w := 0; w < workers-1; w++ {
+			go p.helper(p.wake)
+		}
+	}
+	return p
+}
+
+// helper takes the channel as an argument so Close's p.wake = nil never
+// races with a parked goroutine re-reading the field.
+func (p *Pool) helper(wake <-chan struct{}) {
+	for range wake {
+		p.drain()
+		p.busy.Done()
+	}
+}
+
+// drain claims and runs work items until the counter runs out.
+func (p *Pool) drain() {
+	for {
+		i := int(p.next.Add(1)) - 1
+		if i >= p.n {
+			return
+		}
+		p.fn(i)
+	}
+}
+
+// Run evaluates fn(0..n-1) on the pool, returning when all items are
+// done. The caller participates, so a nil, closed, or single-worker
+// pool simply runs the loop inline. Steady state allocates nothing:
+// no goroutines are created and the job state lives in the Pool.
+func (p *Pool) Run(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if p == nil || p.wake == nil || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	p.fn = fn
+	p.n = n
+	p.next.Store(0)
+	helpers := p.workers - 1
+	if helpers > n-1 {
+		helpers = n - 1
+	}
+	p.busy.Add(helpers)
+	for w := 0; w < helpers; w++ {
+		p.wake <- struct{}{}
+	}
+	p.drain()
+	p.busy.Wait()
+	p.fn = nil
+}
+
+// Close retires the worker goroutines. Run remains usable afterwards —
+// it falls back to the serial loop — so shutdown ordering between the
+// pool's owner and late callers is forgiving.
+func (p *Pool) Close() {
+	if p == nil || p.wake == nil {
+		return
+	}
+	close(p.wake)
+	p.wake = nil
+}

@@ -1,0 +1,71 @@
+package sweep
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"shrimp/internal/raceflag"
+)
+
+func TestPoolRunsEveryItemOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 4, 8} {
+		p := NewPool(workers)
+		for _, n := range []int{0, 1, 3, 17, 100} {
+			counts := make([]atomic.Int32, n)
+			p.Run(n, func(i int) { counts[i].Add(1) })
+			for i := range counts {
+				if got := counts[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: item %d ran %d times", workers, n, i, got)
+				}
+			}
+		}
+		p.Close()
+	}
+}
+
+func TestPoolNilAndClosedFallBackSerial(t *testing.T) {
+	var nilPool *Pool
+	ran := 0
+	nilPool.Run(5, func(int) { ran++ })
+	if ran != 5 {
+		t.Fatalf("nil pool ran %d items, want 5", ran)
+	}
+
+	p := NewPool(4)
+	p.Close()
+	ran = 0
+	p.Run(5, func(int) { ran++ }) // must not touch the closed channel
+	if ran != 5 {
+		t.Fatalf("closed pool ran %d items, want 5", ran)
+	}
+	p.Close() // double Close is harmless
+}
+
+func TestPoolReusableAcrossJobs(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var total atomic.Int64
+	for round := 0; round < 200; round++ {
+		p.Run(13, func(i int) { total.Add(int64(i)) })
+	}
+	if got := total.Load(); got != 200*13*12/2 {
+		t.Fatalf("total = %d, want %d", got, 200*13*12/2)
+	}
+}
+
+// TestPoolSteadyStateAllocs guards the reason Pool exists: a window
+// barrier must not pay goroutine spawns or slice allocations. The job
+// closure is prebuilt, exactly as the cluster prebuilds its stepFn.
+func TestPoolSteadyStateAllocs(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("exact alloc counts are meaningless under -race")
+	}
+	p := NewPool(4)
+	defer p.Close()
+	var sink atomic.Int64
+	fn := func(i int) { sink.Add(int64(i)) }
+	p.Run(16, fn) // warm up
+	if n := testing.AllocsPerRun(100, func() { p.Run(16, fn) }); n != 0 {
+		t.Fatalf("Pool.Run allocates %.1f per call, want 0", n)
+	}
+}
