@@ -2,7 +2,7 @@ GO ?= go
 GOFMT ?= gofmt
 FUZZTIME ?= 10s
 
-.PHONY: all build vet fmt test race check bench experiments faults lossy fuzz simcheck cover profile
+.PHONY: all build vet fmt test race check bench experiments faults lossy serve fuzz simcheck cover profile
 
 all: check
 
@@ -50,6 +50,12 @@ faults:
 # outputs compared bit-exactly.
 lossy:
 	$(GO) run ./cmd/shrimpsim -scenario lossy
+
+# serve runs the open-loop serving trial: seeded Poisson arrivals at a
+# fixed offered rate, SLO readout, and a bit-exactness proof (same-seed
+# rerun plus a 4-worker run must reproduce the fingerprint).
+serve:
+	$(GO) run ./cmd/shrimpsim -scenario serve
 
 # fuzz gives each native fuzz target a short budget (override with
 # FUZZTIME=5m for a longer soak). Each target must be fuzzed alone:

@@ -33,7 +33,7 @@ func RunContextSwitch() (*Result, error) {
 	// engine busy and exercise the retry protocol.
 	tbl := stats.NewTable("N senders sharing one UDMA device (64 messages of 4 KB each)",
 		"senders", "total µs", "retries", "invals", "ctx switches", "µs/message",
-		"xfer p50 µs", "xfer p99 µs")
+		"xfer p50 µs", "xfer p99 µs", "xfer p999 µs")
 	series := &stats.Series{Name: "aggregate time vs senders", XLabel: "senders", YLabel: "µs"}
 
 	var rows []contentionRow
@@ -47,7 +47,8 @@ func RunContextSwitch() (*Result, error) {
 		tbl.AddRow(fmt.Sprintf("%d", r.n), fmt.Sprintf("%.0f", r.us),
 			fmt.Sprintf("%d", r.retries), fmt.Sprintf("%d", r.invals),
 			fmt.Sprintf("%d", r.switches), fmt.Sprintf("%.1f", r.perMsg),
-			fmt.Sprintf("%.1f", r.p50us), fmt.Sprintf("%.1f", r.p99us))
+			fmt.Sprintf("%.1f", r.p50us), fmt.Sprintf("%.1f", r.p99us),
+			fmt.Sprintf("%.1f", r.p999us))
 	}
 	res.Tables = append(res.Tables, tbl)
 	res.Series = append(res.Series, series)
@@ -64,10 +65,15 @@ func RunContextSwitch() (*Result, error) {
 		rows[3].perMsg, rows[0].perMsg)
 	res.check("transfer latency histogram populated", rows[0].p50us > 0 && rows[3].p99us > 0,
 		"p50 %.1f µs at 1 sender, p99 %.1f µs at 8", rows[0].p50us, rows[3].p99us)
+	res.check("latency percentiles ordered (p50 <= p99 <= p999)",
+		percentilesOrdered(rows),
+		"p50 %.1f <= p99 %.1f <= p999 %.1f µs at 8 senders",
+		rows[3].p50us, rows[3].p99us, rows[3].p999us)
 	res.metric("per_msg_us_1_sender", rows[0].perMsg)
 	res.metric("per_msg_us_8_senders", rows[3].perMsg)
 	res.metric("xfer_p50_us_1_sender", rows[0].p50us)
 	res.metric("xfer_p99_us_8_senders", rows[3].p99us)
+	res.metric("xfer_p999_us_8_senders", rows[3].p999us)
 	res.metric("retries_8_senders", float64(rows[3].retries))
 	return res, nil
 
@@ -82,6 +88,16 @@ type contentionRow struct {
 	perMsg   float64
 	p50us    float64 // enqueue→completion transfer latency percentiles
 	p99us    float64
+	p999us   float64
+}
+
+func percentilesOrdered(rows []contentionRow) bool {
+	for _, r := range rows {
+		if r.p50us > r.p99us || r.p99us > r.p999us {
+			return false
+		}
+	}
+	return true
 }
 
 func allInvalsMatch(rows []contentionRow) bool {
@@ -165,5 +181,6 @@ func contentionRun(senders, messages, size int) (contentionRow, error) {
 	lat := reg.Histogram("udma_xfer_latency_cycles", telemetry.L("node", "0"))
 	out.p50us = n.Costs.Micros(sim.Cycles(lat.Quantile(0.5)))
 	out.p99us = n.Costs.Micros(sim.Cycles(lat.Quantile(0.99)))
+	out.p999us = n.Costs.Micros(sim.Cycles(lat.Quantile(0.999)))
 	return out, nil
 }

@@ -80,6 +80,7 @@ var registry = map[string]struct {
 	"e12": {"Extension: fault injection and per-transfer error recovery", RunFaultInjection},
 	"e13": {"Extension: lossy wire, reliable delivery — goodput and latency vs loss", RunLossyWire},
 	"e14": {"Extension: parallel simulation — serial vs parallel wall-clock speedup", RunParallelSpeedup},
+	"e15": {"Extension: open-loop serving — offered-rate sweep and SLO readout", RunServe},
 }
 
 // sweepWorkers is how many host goroutines the rate/seed sweeps inside

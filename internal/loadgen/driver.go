@@ -1,0 +1,390 @@
+package loadgen
+
+import (
+	"errors"
+	"fmt"
+
+	"shrimp/internal/addr"
+	"shrimp/internal/cluster"
+	"shrimp/internal/kernel"
+	"shrimp/internal/nic"
+	"shrimp/internal/sim"
+	"shrimp/internal/telemetry"
+	"shrimp/internal/udmalib"
+	"shrimp/internal/workload"
+)
+
+// DriverOptions tunes a Driver bound to an existing cluster.
+type DriverOptions struct {
+	// Retry is the send retry policy for UDMA classes (zero value takes
+	// a generous budget that rides out credit-window stalls).
+	Retry udmalib.RetryPolicy
+	// Metrics mirrors the driver's sojourn histograms, arrival/outcome
+	// counters and queue-depth gauges into a telemetry registry (nil =
+	// off; the driver keeps its own instruments either way).
+	Metrics *telemetry.Registry
+}
+
+// fifo is one per-destination queue: pacer appends at the tail, the
+// destination's server pops at head. Both live on the same node, so the
+// kernel's coroutine scheduling serializes every access.
+type fifo struct {
+	items []Arrival
+	head  int
+}
+
+func (q *fifo) depth() int { return len(q.items) - q.head }
+
+// nodeState is everything node-local: mid-window, only processes of
+// that node touch it, which is what makes the driver safe (and
+// bit-exact) at any cluster worker count.
+type nodeState struct {
+	queues    []fifo // indexed by destination node
+	pacerDone bool
+	depthNow  int
+	maxDepth  int
+	lastSeq   map[int]int // per-flow last served Seq
+
+	pendingPfns []uint32 // receiver's export awaiting barrier publication
+
+	arrivals       [NumClasses]int
+	delivered      [NumClasses]int
+	failed         [NumClasses]int
+	deliveredBytes [NumClasses]uint64
+	orderViol      int
+	retries        uint64 // udmalib-level initiation retries + resends
+	lastDone       sim.Cycles
+	samples        []Sample
+
+	err error
+}
+
+func (ns *nodeState) fail(err error) {
+	if ns.err == nil {
+		ns.err = err
+	}
+}
+
+// Driver binds a Plan to a live cluster: it spawns the serving
+// processes (receiver, pacer, per-destination servers, sampler) on
+// every node and owns the barrier-published control state. The owner of
+// the cluster's run loop must call PublishControl at every lockstep
+// barrier — exactly where simcheck publishes its own cross-node
+// control — and Finish once the cluster has drained.
+type Driver struct {
+	Plan *Plan
+
+	cl   *cluster.Cluster
+	opts DriverOptions
+
+	nodes []*nodeState
+	hist  [NumClasses]*telemetry.Histogram // sojourn cycles, atomic
+	mhist [NumClasses]*telemetry.Histogram // registry mirror (nil-safe)
+
+	// Barrier-written, window-read control flags: processes only ever
+	// read these mid-window, PublishControl only ever writes them when
+	// no worker is running.
+	published   []bool
+	windowReady bool
+	stopRecv    bool
+	ctlErr      error
+
+	work []*kernel.Proc // every non-receiver process
+}
+
+// NewDriver attaches a plan to a cluster and spawns the serving
+// processes. The cluster's NIC must be configured with PIOWindow and at
+// least Plan.NIPTEntries() NIPT pages.
+func NewDriver(plan *Plan, cl *cluster.Cluster, opts DriverOptions) *Driver {
+	if len(cl.Nodes) != plan.Cfg.Nodes {
+		panic(fmt.Sprintf("loadgen: plan wants %d nodes, cluster has %d", plan.Cfg.Nodes, len(cl.Nodes)))
+	}
+	if opts.Retry.MaxAttempts == 0 {
+		opts.Retry = udmalib.RetryPolicy{MaxAttempts: 12, Backoff: 512}
+	}
+	dr := &Driver{Plan: plan, cl: cl, opts: opts}
+	dr.published = make([]bool, plan.Cfg.Nodes)
+	for c := 0; c < NumClasses; c++ {
+		dr.hist[c] = &telemetry.Histogram{}
+		dr.mhist[c] = opts.Metrics.Histogram("loadgen_sojourn_cycles",
+			telemetry.L("class", Class(c).String()))
+	}
+	for i := 0; i < plan.Cfg.Nodes; i++ {
+		ns := &nodeState{
+			queues:  make([]fifo, plan.Cfg.Nodes),
+			lastSeq: make(map[int]int),
+		}
+		dr.nodes = append(dr.nodes, ns)
+	}
+	for i := range dr.nodes {
+		node := i
+		k := cl.Nodes[node].Kernel
+		k.Spawn(fmt.Sprintf("recv%d", node), dr.receiverBody(node))
+		dr.work = append(dr.work,
+			k.Spawn(fmt.Sprintf("pacer%d", node), dr.pacerBody(node)))
+		for dst := 0; dst < plan.Cfg.Nodes; dst++ {
+			if dst == node {
+				continue
+			}
+			dr.work = append(dr.work,
+				k.Spawn(fmt.Sprintf("serve%d-%d", node, dst), dr.serverBody(node, dst)))
+		}
+		dr.work = append(dr.work,
+			k.Spawn(fmt.Sprintf("sample%d", node), dr.samplerBody(node)))
+	}
+	return dr
+}
+
+// receiverBody pins this node's receive window and parks the frame
+// numbers for barrier publication into every sender's NIPT — incoming
+// deliberate updates then land with no CPU involvement, exactly as on
+// SHRIMP. It idles until PublishControl stops it.
+func (dr *Driver) receiverBody(node int) func(p *kernel.Proc) {
+	return func(p *kernel.Proc) {
+		ns := dr.nodes[node]
+		cfg := dr.Plan.Cfg
+		buf, err := p.Alloc(cfg.WindowPages * addr.PageSize)
+		if err != nil {
+			ns.fail(fmt.Errorf("loadgen: node %d receive window alloc: %w", node, err))
+			return
+		}
+		pfns, err := udmalib.ExportBuffer(dr.cl.Nodes[node].Kernel, p, buf, cfg.WindowPages)
+		if err != nil {
+			ns.fail(fmt.Errorf("loadgen: node %d export: %w", node, err))
+			return
+		}
+		ns.pendingPfns = pfns
+		for !dr.stopRecv {
+			p.Sleep(2000)
+		}
+	}
+}
+
+// pacerBody walks this node's precomputed arrival schedule, sleeping on
+// simulated time to each arrival instant and appending the arrival to
+// its destination queue. It never waits for service — the whole point
+// of the open loop — so at saturation the queues simply grow.
+func (dr *Driver) pacerBody(node int) func(p *kernel.Proc) {
+	return func(p *kernel.Proc) {
+		ns := dr.nodes[node]
+		arrCtr := dr.opts.Metrics.Counter("loadgen_arrivals", telemetry.L("node", fmt.Sprint(node)))
+		for _, ar := range dr.Plan.Arrivals[node] {
+			if now := p.Now(); now < ar.At {
+				p.Sleep(ar.At - now)
+			}
+			fl := dr.Plan.Flows[ar.Flow]
+			q := &ns.queues[fl.Dst]
+			q.items = append(q.items, ar)
+			ns.arrivals[fl.Class]++
+			ns.depthNow++
+			if ns.depthNow > ns.maxDepth {
+				ns.maxDepth = ns.depthNow
+			}
+			arrCtr.Inc()
+		}
+		ns.pacerDone = true
+	}
+}
+
+// serverBody drains one (source node, destination) FIFO queue: pop the
+// head arrival, ship it by its flow's class, and record the sojourn —
+// scheduled arrival to send completion, so time spent queued behind a
+// saturated NIC is charged where a serving system would feel it.
+func (dr *Driver) serverBody(node, dst int) func(p *kernel.Proc) {
+	return func(p *kernel.Proc) {
+		ns := dr.nodes[node]
+		cfg := dr.Plan.Cfg
+		d, err := udmalib.Open(p, dr.cl.Dev(node), true)
+		if err != nil {
+			ns.fail(fmt.Errorf("loadgen: node %d open nic: %w", node, err))
+			return
+		}
+		defer func() { ns.retries += d.Stats().Retries }()
+		large := ClassLarge.Size(cfg.WindowPages)
+		buf, err := p.Alloc(large)
+		if err != nil {
+			ns.fail(fmt.Errorf("loadgen: node %d server buffer: %w", node, err))
+			return
+		}
+		if err := p.WriteBuf(buf, workload.Payload(large, byte(node*16+dst+1))); err != nil {
+			ns.fail(fmt.Errorf("loadgen: node %d server fill: %w", node, err))
+			return
+		}
+		pioFirst, _, _ := dr.cl.NICs[node].PIOWindow()
+		pioBase := d.Base() + addr.VAddr(pioFirst*addr.PageSize)
+		entryBase := uint32(dst * cfg.WindowPages)
+
+		q := &ns.queues[dst]
+		for {
+			if q.head == len(q.items) {
+				if ns.pacerDone {
+					return
+				}
+				p.Sleep(500)
+				continue
+			}
+			if !dr.windowReady {
+				if dr.ctlErr != nil {
+					return
+				}
+				p.Sleep(1000)
+				continue
+			}
+			ar := q.items[q.head]
+			q.head++
+			ns.depthNow--
+			fl := dr.Plan.Flows[ar.Flow]
+			if last, seen := ns.lastSeq[ar.Flow]; (seen && ar.Seq != last+1) || (!seen && ar.Seq != 0) {
+				ns.orderViol++
+			}
+			ns.lastSeq[ar.Flow] = ar.Seq
+
+			size := fl.Class.Size(cfg.WindowPages)
+			var serr error
+			switch fl.Class {
+			case ClassSmall:
+				// Spread PIO bursts across the window page, 64B apart.
+				off := uint32(ar.Seq%63) * 64
+				serr = pioSend(p, pioBase, entryBase+uint32(ar.Seq%cfg.WindowPages), off,
+					size/4, uint32(ar.Flow)<<8)
+			case ClassMid:
+				devOff := udmalib.WindowOff(entryBase+uint32(ar.Seq%cfg.WindowPages), 0)
+				serr = d.SendRetry(buf, devOff, size, dr.opts.Retry)
+			default:
+				serr = d.SendRetry(buf, udmalib.WindowOff(entryBase, 0), size, dr.opts.Retry)
+			}
+			now := p.Now()
+			switch {
+			case serr == nil:
+				ns.delivered[fl.Class]++
+				ns.deliveredBytes[fl.Class] += uint64(size)
+				dr.hist[fl.Class].Observe(uint64(now - ar.At))
+				dr.mhist[fl.Class].Observe(uint64(now - ar.At))
+				if now > ns.lastDone {
+					ns.lastDone = now
+				}
+			case transferFailure(serr):
+				// The message is lost to its flow but the system keeps
+				// serving — exactly what the failed count is for.
+				ns.failed[fl.Class]++
+			default:
+				ns.fail(fmt.Errorf("loadgen: node %d flow %d: %w", node, ar.Flow, serr))
+				return
+			}
+		}
+	}
+}
+
+// samplerBody records this node's queue depth and NIC pressure counters
+// on a fixed simulated-time cadence — the time series the SLO readout
+// plots saturation from.
+func (dr *Driver) samplerBody(node int) func(p *kernel.Proc) {
+	return func(p *kernel.Proc) {
+		ns := dr.nodes[node]
+		gauge := dr.opts.Metrics.Gauge("loadgen_queue_depth", telemetry.L("node", fmt.Sprint(node)))
+		for {
+			p.Sleep(dr.Plan.Cfg.SampleEvery)
+			st := dr.cl.NICs[node].Stats()
+			ns.samples = append(ns.samples, Sample{
+				At:           p.Now(),
+				Depth:        ns.depthNow,
+				CreditStalls: st.CreditStalls,
+				Retransmits:  st.Retransmits,
+			})
+			gauge.Set(int64(ns.depthNow))
+			if ns.pacerDone && ns.depthNow == 0 {
+				return
+			}
+		}
+	}
+}
+
+// pioSend pushes one small message through the NIC's memory-mapped FIFO
+// window: destination register, data words, launch. Fire-and-forget, as
+// on the Section 9 baseline — completion means the packet left the
+// board, and the reliability sublayer (when armed) carries it from
+// there.
+func pioSend(p *kernel.Proc, pioBase addr.VAddr, entry, off uint32, words int, tag uint32) error {
+	if err := p.Store(pioBase+nic.PIORegDest, entry<<addr.PageShift|off); err != nil {
+		return err
+	}
+	for w := 0; w < words; w++ {
+		if err := p.Store(pioBase+nic.PIORegData, tag+uint32(w)*0x9E3779B9); err != nil {
+			return err
+		}
+	}
+	return p.Store(pioBase+nic.PIORegLaunch, 1)
+}
+
+// transferFailure reports whether err is a per-message delivery failure
+// (retry budget exhausted, or a hard transfer error) rather than a
+// driver bug.
+func transferFailure(err error) bool {
+	return errors.As(err, new(*udmalib.RetryExhaustedError)) ||
+		errors.As(err, new(*udmalib.HardError))
+}
+
+// PublishControl performs the driver's cross-node control plane. It
+// must be called at lockstep barriers only, when no worker goroutine is
+// running: receiver windows parked mid-window are mapped into every
+// sender's NIPT here, and the receiver stop flag is raised once all
+// serving work has exited — both ordered identically at every worker
+// count.
+func (dr *Driver) PublishControl() {
+	if dr.ctlErr != nil {
+		dr.stopRecv = true
+		return
+	}
+	allPublished := true
+	for r, ns := range dr.nodes {
+		if dr.published[r] {
+			continue
+		}
+		if ns.pendingPfns == nil {
+			allPublished = false
+			continue
+		}
+		base := uint32(r * dr.Plan.Cfg.WindowPages)
+		for s := range dr.nodes {
+			if s == r {
+				continue
+			}
+			if err := udmalib.MapSendWindow(dr.cl.NICs[s], base, r, ns.pendingPfns); err != nil {
+				dr.ctlErr = fmt.Errorf("loadgen: publish node %d window into sender %d: %w", r, s, err)
+				dr.stopRecv = true
+				return
+			}
+		}
+		dr.published[r] = true
+	}
+	if allPublished {
+		dr.windowReady = true
+	}
+	if !dr.stopRecv && dr.workDone() {
+		dr.stopRecv = true
+	}
+}
+
+// workDone reports whether every pacer, server and sampler has exited
+// (receivers excluded — they are what the answer stops).
+func (dr *Driver) workDone() bool {
+	for _, p := range dr.work {
+		if !p.Exited() {
+			return false
+		}
+	}
+	return true
+}
+
+// Err surfaces the first hard error, in deterministic node order.
+func (dr *Driver) Err() error {
+	if dr.ctlErr != nil {
+		return dr.ctlErr
+	}
+	for _, ns := range dr.nodes {
+		if ns.err != nil {
+			return ns.err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,233 @@
+// Package loadgen is the open-loop serving subsystem: a deterministic
+// traffic driver that offers sustained load to a SHRIMP cluster and
+// reads the result back as serving SLOs instead of benchmark figures.
+//
+// Closed-loop benchmarks (send N messages, drain, report) let the
+// workload politely wait for the machine; a serving system does not get
+// that courtesy. Here arrivals follow a seeded Poisson process at a
+// configurable offered rate, scheduled entirely on simulated time:
+// BuildPlan precomputes every arrival — its time, flow, class and
+// per-flow sequence number — from the seed before the cluster runs a
+// single cycle. Load therefore never adapts to service: when the NIC
+// saturates, queues grow and sojourn time (arrival→delivery, queueing
+// included) records exactly how far behind the machine fell.
+//
+// The flow model: thousands of logical flows, each pinned to a
+// (source, destination, class) triple. Arrivals for one flow are served
+// in order because every flow hashes to one per-destination FIFO queue
+// on its source node, drained by a single server process; flows on
+// different queues interleave freely. Three traffic classes cover the
+// paper's mechanism spectrum — small messages through the PIO FIFO
+// window, mid-size single-page UDMA sends, and large multi-page
+// deliberate updates.
+//
+// Determinism: the arrival schedule is fixed before simulation, every
+// queue and counter a process touches mid-window is local to its node,
+// and all cross-node control (mapping receiver windows into sender
+// NIPTs, stopping receivers) happens in Driver.PublishControl at
+// lockstep barriers. A trial is therefore bit-exact at any
+// cluster.Config.Workers count — Result.Fingerprint pins that down.
+package loadgen
+
+import (
+	"fmt"
+	"math"
+
+	"shrimp/internal/addr"
+	"shrimp/internal/sim"
+)
+
+// Class is one traffic class of the flow mix.
+type Class int
+
+const (
+	// ClassSmall is a 64-byte message pushed through the NIC's
+	// memory-mapped PIO FIFO window: the paper's Section 9 baseline,
+	// fire-and-forget word stores with no DMA setup.
+	ClassSmall Class = iota
+	// ClassMid is a 2 KB UDMA deliberate update (single-page transfer).
+	ClassMid
+	// ClassLarge is a multi-page UDMA deliberate update spanning the
+	// whole receive window (WindowPages pages).
+	ClassLarge
+
+	NumClasses = 3
+)
+
+// String names the class for tables and telemetry labels.
+func (c Class) String() string {
+	switch c {
+	case ClassSmall:
+		return "small-pio"
+	case ClassMid:
+		return "mid-udma"
+	case ClassLarge:
+		return "large-multipage"
+	}
+	return fmt.Sprintf("class-%d", int(c))
+}
+
+// Size is the class's message payload size given the receive-window
+// span in pages.
+func (c Class) Size(windowPages int) int {
+	switch c {
+	case ClassSmall:
+		return 64
+	case ClassMid:
+		return 2048
+	default:
+		return windowPages * addr.PageSize
+	}
+}
+
+// Config shapes one open-loop trial. Zero fields take defaults.
+type Config struct {
+	// Nodes is the cluster size (>= 2; every node both sends and
+	// receives).
+	Nodes int
+	// Seed derives the whole arrival schedule and flow table.
+	Seed uint64
+	// Rate is the aggregate offered rate in messages per million
+	// simulated cycles, across the whole cluster.
+	Rate float64
+	// Messages is the total number of arrivals to offer.
+	Messages int
+	// Flows is the number of logical flows (default 2048). Each flow is
+	// pinned to a (src, dst, class) triple at plan build.
+	Flows int
+	// WindowPages is the receive-window span per destination node
+	// (default 4): every node exports WindowPages pinned pages, mapped
+	// into every sender's NIPT.
+	WindowPages int
+	// MixSmall/MixMid/MixLarge weight the class draw per flow
+	// (default 6:3:1).
+	MixSmall, MixMid, MixLarge int
+	// StartAt is the first-arrival floor in cycles (default 64_000),
+	// leaving room for the receive windows to export and publish before
+	// traffic lands.
+	StartAt sim.Cycles
+	// SampleEvery is the queue-depth/credit-stall sampling period per
+	// node (default 10_000 cycles).
+	SampleEvery sim.Cycles
+}
+
+func (c Config) withDefaults() Config {
+	if c.Nodes == 0 {
+		c.Nodes = 4
+	}
+	if c.Rate == 0 {
+		c.Rate = 100
+	}
+	if c.Messages == 0 {
+		c.Messages = 400
+	}
+	if c.Flows == 0 {
+		c.Flows = 2048
+	}
+	if c.WindowPages == 0 {
+		c.WindowPages = 4
+	}
+	if c.MixSmall == 0 && c.MixMid == 0 && c.MixLarge == 0 {
+		c.MixSmall, c.MixMid, c.MixLarge = 6, 3, 1
+	}
+	if c.StartAt == 0 {
+		c.StartAt = 64_000
+	}
+	if c.SampleEvery == 0 {
+		c.SampleEvery = 10_000
+	}
+	return c
+}
+
+// Flow is one logical flow's fixed identity.
+type Flow struct {
+	Src, Dst int
+	Class    Class
+}
+
+// Arrival is one scheduled message: its simulated arrival time, the
+// flow it belongs to, and its position in that flow (Seq counts from 0
+// in arrival order — the serving side checks it to prove per-flow FIFO
+// ordering survived).
+type Arrival struct {
+	At   sim.Cycles
+	Flow int
+	Seq  int
+}
+
+// Plan is the precomputed, purely-data description of a trial: the
+// flow table and every node's arrival schedule, all derived from the
+// seed before any simulation runs. Two BuildPlan calls with the same
+// Config yield identical plans; nothing in a Plan can depend on
+// execution order.
+type Plan struct {
+	Cfg   Config
+	Flows []Flow
+	// Arrivals[src] is source node src's schedule, ascending in At.
+	Arrivals [][]Arrival
+	// Span is the offered interval: last arrival time minus StartAt.
+	Span sim.Cycles
+	// Offered and OfferedBytes count the schedule per class.
+	Offered      [NumClasses]int
+	OfferedBytes [NumClasses]uint64
+}
+
+// BuildPlan derives a trial's complete arrival schedule from the seed.
+// Inter-arrival gaps are exponential with mean 1e6/Rate cycles (a
+// Poisson process at the offered rate), rounded up to one cycle; each
+// arrival picks a uniform flow, and the flow's fixed (src, dst, class)
+// decides where it queues and how it ships.
+func BuildPlan(cfg Config) *Plan {
+	cfg = cfg.withDefaults()
+	if cfg.Nodes < 2 {
+		panic(fmt.Sprintf("loadgen: %d nodes (need >= 2 to serve remote traffic)", cfg.Nodes))
+	}
+	rng := sim.NewRNG(cfg.Seed)
+	p := &Plan{Cfg: cfg}
+
+	weight := cfg.MixSmall + cfg.MixMid + cfg.MixLarge
+	p.Flows = make([]Flow, cfg.Flows)
+	for f := range p.Flows {
+		src := rng.Intn(cfg.Nodes)
+		dst := (src + 1 + rng.Intn(cfg.Nodes-1)) % cfg.Nodes
+		class := ClassSmall
+		switch pick := rng.Intn(weight); {
+		case pick < cfg.MixSmall:
+			class = ClassSmall
+		case pick < cfg.MixSmall+cfg.MixMid:
+			class = ClassMid
+		default:
+			class = ClassLarge
+		}
+		p.Flows[f] = Flow{Src: src, Dst: dst, Class: class}
+	}
+
+	meanGap := 1e6 / cfg.Rate
+	p.Arrivals = make([][]Arrival, cfg.Nodes)
+	seq := make([]int, cfg.Flows)
+	t := cfg.StartAt
+	for m := 0; m < cfg.Messages; m++ {
+		// Exponential inter-arrival via inverse transform; 1-U is in
+		// (0,1], so the log argument never hits zero.
+		gap := sim.Cycles(-math.Log(1-rng.Float64()) * meanGap)
+		if gap < 1 {
+			gap = 1
+		}
+		t += gap
+		f := rng.Intn(cfg.Flows)
+		fl := p.Flows[f]
+		p.Arrivals[fl.Src] = append(p.Arrivals[fl.Src], Arrival{At: t, Flow: f, Seq: seq[f]})
+		seq[f]++
+		p.Offered[fl.Class]++
+		p.OfferedBytes[fl.Class] += uint64(fl.Class.Size(cfg.WindowPages))
+	}
+	p.Span = t - cfg.StartAt
+	return p
+}
+
+// NIPTEntries is the sender NIPT capacity a plan needs: one
+// WindowPages-sized window per destination node, at entry base
+// dst*WindowPages.
+func (p *Plan) NIPTEntries() uint32 {
+	return uint32(p.Cfg.Nodes * p.Cfg.WindowPages)
+}

@@ -1,0 +1,204 @@
+package loadgen
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+
+	"shrimp/internal/sim"
+)
+
+// Sample is one point of a node's queue-depth / NIC-pressure time
+// series, taken every Config.SampleEvery cycles.
+type Sample struct {
+	At           sim.Cycles
+	Depth        int    // messages queued on the node, all destinations
+	CreditStalls uint64 // NIC lifetime counter at sample time
+	Retransmits  uint64
+}
+
+// ClassSLO is the serving readout for one traffic class.
+type ClassSLO struct {
+	Class     string
+	Offered   int
+	Delivered int
+	Failed    int
+	Bytes     uint64 // delivered payload bytes
+	// Sojourn percentiles in cycles: scheduled arrival → send
+	// completion, so queueing behind a saturated NIC is counted.
+	P50, P99, P999 float64
+	MeanSojourn    float64
+	MaxSojourn     uint64
+}
+
+// Result is one trial's complete SLO readout.
+type Result struct {
+	Cfg Config
+
+	// Span is the offered interval (first to last scheduled arrival);
+	// Elapsed runs from StartAt to the last delivery. An unsaturated
+	// system keeps Elapsed ≈ Span; past the knee Elapsed stretches.
+	Span    sim.Cycles
+	Elapsed sim.Cycles
+
+	// OfferedRate is the realized schedule rate (messages per million
+	// cycles of Span); AchievedRate is deliveries per million cycles of
+	// Elapsed. Their ratio is the saturation signal Knee looks for.
+	OfferedRate  float64
+	AchievedRate float64
+
+	Messages       int
+	Delivered      int
+	Failed         int
+	DeliveredBytes uint64
+
+	Classes [NumClasses]ClassSLO
+
+	// OrderViolations counts per-flow FIFO breaches observed at serve
+	// time — always zero unless the queueing layer is broken.
+	OrderViolations int
+	MaxQueueDepth   int
+	Retries         uint64 // udmalib initiation retries across all servers
+
+	// NIC lifetime aggregates across all nodes, post-drain.
+	CreditStalls     uint64
+	Retransmits      uint64
+	DeliveryFailures uint64
+
+	// Samples[node] is each node's queue-depth time series.
+	Samples [][]Sample
+}
+
+// Goodput is delivered payload bytes per million cycles.
+func (r *Result) Goodput() float64 {
+	if r.Elapsed == 0 {
+		return 0
+	}
+	return float64(r.DeliveredBytes) * 1e6 / float64(r.Elapsed)
+}
+
+// Fingerprint digests everything the simulation determines — counts,
+// bytes, sojourn histogram aggregates, queue series, final ordering
+// state — into one value two bit-exact runs must share. Two runs of the
+// same TrialConfig must produce the same fingerprint at any worker
+// count.
+func (r *Result) Fingerprint() uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "span=%d el=%d msgs=%d del=%d fail=%d bytes=%d ord=%d depth=%d retry=%d",
+		r.Span, r.Elapsed, r.Messages, r.Delivered, r.Failed,
+		r.DeliveredBytes, r.OrderViolations, r.MaxQueueDepth, r.Retries)
+	fmt.Fprintf(h, " stall=%d rtx=%d dfail=%d", r.CreditStalls, r.Retransmits, r.DeliveryFailures)
+	for c := range r.Classes {
+		s := &r.Classes[c]
+		fmt.Fprintf(h, " c%d=%d/%d/%d/%d max=%d", c, s.Offered, s.Delivered, s.Failed, s.Bytes, s.MaxSojourn)
+	}
+	for node, series := range r.Samples {
+		fmt.Fprintf(h, " n%d:", node)
+		for _, sm := range series {
+			fmt.Fprintf(h, "(%d,%d,%d,%d)", sm.At, sm.Depth, sm.CreditStalls, sm.Retransmits)
+		}
+	}
+	return h.Sum64()
+}
+
+// WriteTable renders the per-class SLO readout as aligned text. costs
+// may be nil, in which case latencies print in cycles.
+func (r *Result) WriteTable(w io.Writer, costs *sim.CostModel) {
+	unit, scale := "cycles", func(v float64) float64 { return v }
+	if costs != nil {
+		unit, scale = "µs", func(v float64) float64 { return costs.Micros(sim.Cycles(v)) }
+	}
+	fmt.Fprintf(w, "offered %.1f msgs/Mcycle, achieved %.1f; goodput %.0f B/Mcycle; max queue depth %d\n",
+		r.OfferedRate, r.AchievedRate, r.Goodput(), r.MaxQueueDepth)
+	fmt.Fprintf(w, "%-16s %8s %10s %7s %10s %10s %10s\n",
+		"class", "offered", "delivered", "failed", "p50 "+unit, "p99 "+unit, "p999 "+unit)
+	for c := range r.Classes {
+		s := &r.Classes[c]
+		fmt.Fprintf(w, "%-16s %8d %10d %7d %10.1f %10.1f %10.1f\n",
+			s.Class, s.Offered, s.Delivered, s.Failed,
+			scale(s.P50), scale(s.P99), scale(s.P999))
+	}
+}
+
+// Finish aggregates the trial once the cluster has drained: node-local
+// counters fold in node order, the shared sojourn histograms yield the
+// percentiles, and the NIC lifetime counters are read post-drain so
+// retransmit timers have settled.
+func (dr *Driver) Finish() (*Result, error) {
+	if err := dr.Err(); err != nil {
+		return nil, err
+	}
+	r := &Result{
+		Cfg:      dr.Plan.Cfg,
+		Span:     dr.Plan.Span,
+		Messages: dr.Plan.Cfg.Messages,
+		Samples:  make([][]Sample, len(dr.nodes)),
+	}
+	if dr.Plan.Span > 0 {
+		r.OfferedRate = float64(r.Messages) * 1e6 / float64(dr.Plan.Span)
+	}
+	var lastDone sim.Cycles
+	for i, ns := range dr.nodes {
+		for c := 0; c < NumClasses; c++ {
+			r.Delivered += ns.delivered[c]
+			r.Failed += ns.failed[c]
+			r.DeliveredBytes += ns.deliveredBytes[c]
+			r.Classes[c].Delivered += ns.delivered[c]
+			r.Classes[c].Failed += ns.failed[c]
+			r.Classes[c].Bytes += ns.deliveredBytes[c]
+		}
+		r.OrderViolations += ns.orderViol
+		r.Retries += ns.retries
+		if ns.maxDepth > r.MaxQueueDepth {
+			r.MaxQueueDepth = ns.maxDepth
+		}
+		if ns.lastDone > lastDone {
+			lastDone = ns.lastDone
+		}
+		r.Samples[i] = ns.samples
+		st := dr.cl.NICs[i].Stats()
+		r.CreditStalls += st.CreditStalls
+		r.Retransmits += st.Retransmits
+		r.DeliveryFailures += st.DeliveryFailures
+	}
+	for c := 0; c < NumClasses; c++ {
+		s := &r.Classes[c]
+		s.Class = Class(c).String()
+		s.Offered = dr.Plan.Offered[c]
+		h := dr.hist[c]
+		s.P50 = h.Quantile(0.50)
+		s.P99 = h.Quantile(0.99)
+		s.P999 = h.Quantile(0.999)
+		s.MeanSojourn = h.Mean()
+		s.MaxSojourn = h.Max()
+	}
+	if lastDone > dr.Plan.Cfg.StartAt {
+		r.Elapsed = lastDone - dr.Plan.Cfg.StartAt
+	}
+	if r.Elapsed > 0 {
+		r.AchievedRate = float64(r.Delivered) * 1e6 / float64(r.Elapsed)
+	}
+	return r, nil
+}
+
+// RatePoint is one point of an offered-rate sweep.
+type RatePoint struct {
+	Offered  float64
+	Achieved float64
+}
+
+// Knee scans an ascending offered-rate sweep for the saturation knee:
+// the first offered rate whose achieved rate falls below frac of it
+// (frac 0 defaults to 0.9). ok is false when the system kept up at
+// every point — the sweep never reached saturation.
+func Knee(points []RatePoint, frac float64) (rate float64, ok bool) {
+	if frac <= 0 {
+		frac = 0.9
+	}
+	for _, pt := range points {
+		if pt.Achieved < frac*pt.Offered {
+			return pt.Offered, true
+		}
+	}
+	return 0, false
+}

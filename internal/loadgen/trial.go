@@ -1,0 +1,137 @@
+package loadgen
+
+import (
+	"fmt"
+
+	"shrimp/internal/cluster"
+	"shrimp/internal/interconnect"
+	"shrimp/internal/kernel"
+	"shrimp/internal/machine"
+	"shrimp/internal/nic"
+	"shrimp/internal/sim"
+	"shrimp/internal/telemetry"
+	"shrimp/internal/udmalib"
+)
+
+// TrialConfig is a self-contained trial: the load shape plus the
+// machine regime it runs against.
+type TrialConfig struct {
+	Config
+
+	// Workers is the cluster's host parallelism; any value yields the
+	// same Result.Fingerprint.
+	Workers int
+	// Window is the lockstep horizon step (default 2000 cycles — well
+	// under the retransmit timeout so ACKs never look late).
+	Window sim.Cycles
+	// RAMFrames per node (default 128).
+	RAMFrames int
+	// Limit bounds the run (default 2e9 cycles); hitting it is an error.
+	Limit sim.Cycles
+
+	// Fault perturbs the wire (lossy regime); the NIC reliability layer
+	// is always armed, so a clean trial is simply a zero plan.
+	Fault interconnect.FaultPlan
+	// FaultInject wraps every NIC in device.Faulty at the given rates
+	// (faulty regime), seeded from Config.Seed.
+	FaultInject     bool
+	FaultRejectRate float64
+	FaultFailRate   float64
+
+	// Retry overrides the server send retry policy.
+	Retry udmalib.RetryPolicy
+	// Metrics mirrors driver instruments into a registry (optional).
+	Metrics *telemetry.Registry
+}
+
+func (tc TrialConfig) withDefaults() TrialConfig {
+	tc.Config = tc.Config.withDefaults()
+	if tc.Window == 0 {
+		tc.Window = 2000
+	}
+	if tc.RAMFrames == 0 {
+		tc.RAMFrames = 128
+	}
+	if tc.Limit == 0 {
+		tc.Limit = 2_000_000_000
+	}
+	return tc
+}
+
+// RunTrial builds a cluster for the regime, binds a freshly built plan
+// to it, and drives the lockstep loop to completion — PublishControl at
+// every barrier, mirroring cluster.Run's re-based horizons and
+// skip-ahead. It returns the aggregated SLO readout.
+func RunTrial(tc TrialConfig) (*Result, error) {
+	tc = tc.withDefaults()
+	plan := BuildPlan(tc.Config)
+	cl := cluster.New(cluster.Config{
+		Nodes: tc.Nodes,
+		Machine: machine.Config{
+			RAMFrames: tc.RAMFrames,
+			Kernel:    kernel.Config{Quantum: 2000},
+		},
+		NIC: nic.Config{
+			NIPTPages: plan.NIPTEntries(),
+			PIOWindow: true,
+			// Reliable delivery is always armed: a serving system that
+			// silently loses messages has no meaningful SLO. The base
+			// retransmit timeout sits far above the saturated ACK RTT
+			// (multi-page bursts queue tens of thousands of cycles of
+			// wire time ahead of an ACK) so a clean wire never resends
+			// spuriously — loss recovery then shows up where a serving
+			// system feels it, in the sojourn tail.
+			Reliability: nic.ReliabilityConfig{Enabled: true, RetxTimeout: 100_000},
+		},
+		Window:          tc.Window,
+		Workers:         tc.Workers,
+		FaultInject:     tc.FaultInject,
+		FaultSeed:       tc.Seed,
+		FaultRejectRate: tc.FaultRejectRate,
+		FaultFailRate:   tc.FaultFailRate,
+		Fault:           tc.Fault,
+		Metrics:         tc.Metrics,
+	})
+	defer cl.Shutdown()
+	dr := NewDriver(plan, cl, DriverOptions{Retry: tc.Retry, Metrics: tc.Metrics})
+
+	var horizon sim.Cycles
+	for {
+		dr.PublishControl()
+		base := cl.MinNow()
+		if horizon > base {
+			base = horizon
+		}
+		horizon = base + tc.Window
+		if horizon < base || horizon > tc.Limit {
+			horizon = tc.Limit
+		}
+		progress, err := cl.Step(horizon)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: %w", err)
+		}
+		if err := dr.Err(); err != nil {
+			return nil, err
+		}
+		if cl.AllIdle() {
+			cl.DrainHardware()
+			break
+		}
+		if horizon >= tc.Limit {
+			return nil, fmt.Errorf("loadgen: trial still running at the %d-cycle limit (offered rate too high to ever drain?)", tc.Limit)
+		}
+		if !progress {
+			next := cl.NextRunnable(horizon)
+			if next == sim.Forever {
+				return nil, fmt.Errorf("loadgen: cluster deadlocked mid-trial")
+			}
+			if next > horizon {
+				horizon = next - tc.Window // re-based past next at loop top
+			}
+		}
+	}
+	if tc.Metrics != nil {
+		cl.PublishRollup()
+	}
+	return dr.Finish()
+}

@@ -11,6 +11,7 @@ import (
 	"shrimp/internal/device"
 	"shrimp/internal/interconnect"
 	"shrimp/internal/kernel"
+	"shrimp/internal/loadgen"
 	"shrimp/internal/machine"
 	"shrimp/internal/nic"
 	"shrimp/internal/sim"
@@ -55,6 +56,18 @@ type ScenarioConfig struct {
 
 	Kills    int // processes killed mid-run (never receivers)
 	MaxSteps int // liveness bound, in lockstep windows
+
+	// Serve replaces the random per-process op programs with the
+	// internal/loadgen open-loop driver: seeded Poisson arrivals across
+	// per-destination FIFO flows, served over PIO and UDMA while the
+	// auditor checks every invariant between windows. These fields are
+	// set only via Options.Override — never drawn from the seed — so
+	// every existing seed's scenario shape is untouched.
+	Serve            bool
+	ServeRate        float64 // offered messages per million cycles
+	ServeMessages    int
+	ServeFlows       int
+	ServeWindowPages int
 }
 
 // randomConfig draws a scenario shape from the master RNG. Ranges are
@@ -195,6 +208,11 @@ type scenario struct {
 	procs []procInfo
 	kills []killPlan
 
+	// serve is the open-loop load driver when cfg.Serve is set; it owns
+	// the node processes and the barrier-published control state that
+	// procs/remote/pendingPfns own in the randomized scenario.
+	serve *loadgen.Driver
+
 	remote *remotePlan
 	// pendingPfns is the receiver's exported window awaiting barrier
 	// publication: the receiver writes it mid-window (touching only its
@@ -278,6 +296,29 @@ func buildScenario(seed uint64, opts Options) *scenario {
 	if opts.Override != nil {
 		opts.Override(&cfg)
 	}
+	if cfg.Serve {
+		// Serve-mode floors and defaults (the fields are Override-set,
+		// never seed-drawn): open-loop traffic needs at least two nodes,
+		// and the NIPT must hold one window per destination per sender.
+		if cfg.Nodes < 2 {
+			cfg.Nodes = 2
+		}
+		if cfg.ServeRate == 0 {
+			cfg.ServeRate = 150
+		}
+		if cfg.ServeMessages == 0 {
+			cfg.ServeMessages = 120
+		}
+		if cfg.ServeFlows == 0 {
+			cfg.ServeFlows = 256
+		}
+		if cfg.ServeWindowPages == 0 {
+			cfg.ServeWindowPages = 2
+		}
+		if need := uint32(cfg.Nodes * cfg.ServeWindowPages); cfg.NIPTPages < need {
+			cfg.NIPTPages = need
+		}
+	}
 	s := &scenario{seed: seed, cfg: cfg, opts: opts, step: -1}
 
 	s.cl = cluster.New(cluster.Config{
@@ -324,6 +365,23 @@ func buildScenario(seed uint64, opts Options) *scenario {
 		if cfg.Cleaner {
 			n.Kernel.StartCleaner(cfg.CleanerPeriod)
 		}
+	}
+
+	if cfg.Serve {
+		// The loadgen driver spawns every process (receivers, pacers,
+		// servers, samplers) and parks its cross-node control for
+		// publishControl, exactly like the randomized scenario's receiver
+		// does. No kill plan: killing a pacer or server would strand its
+		// queues and turn the liveness bound into a false failure.
+		s.serve = loadgen.NewDriver(loadgen.BuildPlan(loadgen.Config{
+			Nodes:       cfg.Nodes,
+			Seed:        seed ^ 0x10ad_9e4, // decorrelated from shape draws
+			Rate:        cfg.ServeRate,
+			Messages:    cfg.ServeMessages,
+			Flows:       cfg.ServeFlows,
+			WindowPages: cfg.ServeWindowPages,
+		}), s.cl, loadgen.DriverOptions{Metrics: opts.Metrics})
+		return s
 	}
 
 	if cfg.Nodes >= 2 {
@@ -409,6 +467,10 @@ func (s *scenario) maybeStopReceivers() {
 // lossy wire every payload byte ever launched must be accounted for.
 func (s *scenario) finalVerify() {
 	s.auditWire()
+	if s.serve != nil {
+		s.serveVerify()
+		return
+	}
 	rp := s.remote
 	if rp == nil || rp.pfns == nil {
 		return
@@ -436,6 +498,36 @@ func (s *scenario) finalVerify() {
 				fmt.Sprintf("exported page %d (frame %d) differs from last successful send (first diff at %d)",
 					j, rp.pfns[j], firstDiff(page, rp.expect[j])))
 		}
+	}
+}
+
+// serveVerify is finalVerify for serve mode: the load driver's own
+// end-of-run books must balance — a hard driver error is a finding, and
+// on a drained cluster every offered message must be delivered or
+// typed-failed, in per-flow FIFO order, with failures only where the
+// regime injects them.
+func (s *scenario) serveVerify() {
+	if err := s.serve.Err(); err != nil {
+		s.fail(0, "serve-error", err.Error())
+		return
+	}
+	if !s.drained {
+		return // liveness already failed; mid-flight accounting is meaningless
+	}
+	res, err := s.serve.Finish()
+	if err != nil {
+		s.fail(0, "serve-error", err.Error())
+		return
+	}
+	if res.Delivered+res.Failed != res.Messages {
+		s.fail(0, "serve-accounting",
+			fmt.Sprintf("%d delivered + %d failed != %d offered", res.Delivered, res.Failed, res.Messages))
+	}
+	if res.OrderViolations != 0 {
+		s.fail(0, "serve-order", fmt.Sprintf("%d per-flow FIFO violations", res.OrderViolations))
+	}
+	if !s.cfg.FaultInject && !s.cfg.Lossy && res.Failed != 0 {
+		s.fail(0, "serve-accounting", fmt.Sprintf("%d failures on a clean machine", res.Failed))
 	}
 }
 
@@ -622,6 +714,10 @@ func (s *scenario) receiverBody(node int, p *kernel.Proc) {
 // NIPT here, so the NIPT write is ordered identically at every worker
 // count.
 func (s *scenario) publishControl() {
+	if s.serve != nil {
+		s.serve.PublishControl()
+		return
+	}
 	rp := s.remote
 	if rp == nil || s.windowReady || s.pendingPfns == nil {
 		return

@@ -144,6 +144,12 @@ func Run(seed uint64, opts Options) *Report {
 			s.fail(0, "runtime", err.Error())
 		}
 		s.audit(step)
+		if s.serve != nil {
+			if err := s.serve.Err(); err != nil {
+				s.fail(0, "serve-error", err.Error())
+				break
+			}
+		}
 		if s.capped() {
 			break
 		}

@@ -151,6 +151,97 @@ func TestSimCheckLossyWorkerEquivalence(t *testing.T) {
 	}
 }
 
+// serveOverride switches a seed's scenario to open-loop serving: the
+// internal/loadgen driver replaces the random op programs while the
+// seed keeps drawing the machine shape (RAM, quanta, cleaner, faults,
+// lossy wire) the auditor then checks underneath the load.
+func serveOverride(cfg *ScenarioConfig) {
+	cfg.Serve = true
+}
+
+// TestSimCheckServeSweep runs the invariant auditor under open-loop
+// load: per-destination FIFO flows of PIO and UDMA traffic at a steady
+// offered rate, over whatever machine regime each seed draws (including
+// fault injection and lossy wires), with I1–I4, refcount and byte
+// conservation checked at every window and the driver's own books
+// (delivered + typed-failed = offered, per-flow order) at the end.
+func TestSimCheckServeSweep(t *testing.T) {
+	seeds := 24
+	if testing.Short() {
+		seeds = 8
+	}
+	opts := Options{Override: serveOverride}
+	for _, rep := range Sweep(1, seeds, runtime.GOMAXPROCS(0), opts) {
+		if rep.Failed() {
+			t.Fatalf("\n%s", rep.String())
+		}
+		if !rep.Cfg.Serve || rep.Cfg.Nodes < 2 {
+			t.Fatalf("seed %d: serve override not applied: %+v", rep.Seed, rep.Cfg)
+		}
+	}
+}
+
+// TestSimCheckServeWorkerEquivalence is the acceptance criterion for
+// serving on the parallel core: a serve scenario run with eight cluster
+// workers must be indistinguishable from the serial run — identical
+// fingerprint, violations and per-node trace summaries.
+func TestSimCheckServeWorkerEquivalence(t *testing.T) {
+	seeds := uint64(12)
+	if testing.Short() {
+		seeds = 4
+	}
+	for seed := uint64(1); seed <= seeds; seed++ {
+		serial := Run(seed, Options{Override: serveOverride})
+		if serial.Failed() {
+			t.Fatalf("seed %d failed serially:\n%s", seed, serial.String())
+		}
+		par := Run(seed, Options{Override: serveOverride, Workers: 8})
+		if serial.Fingerprint != par.Fingerprint {
+			t.Fatalf("seed %d: workers=8 fingerprint %016x != workers=1 %016x",
+				seed, par.Fingerprint, serial.Fingerprint)
+		}
+		if len(serial.Violations) != len(par.Violations) {
+			t.Fatalf("seed %d: violation counts differ across workers: %d vs %d",
+				seed, len(serial.Violations), len(par.Violations))
+		}
+		if fmt.Sprint(serial.TraceSummaries) != fmt.Sprint(par.TraceSummaries) {
+			t.Fatalf("seed %d: trace summaries differ across workers:\n%v\nvs\n%v",
+				seed, serial.TraceSummaries, par.TraceSummaries)
+		}
+	}
+}
+
+// TestSimCheckServeLossyWorkerEquivalence composes the two hardest
+// regimes: open-loop load over the acceptance-criteria hostile wire,
+// serial vs eight workers, comparing fingerprint, telemetry snapshot
+// (including the loadgen sojourn mirrors) and trace summaries.
+func TestSimCheckServeLossyWorkerEquivalence(t *testing.T) {
+	run := func(workers int) (*Report, string) {
+		reg := telemetry.New()
+		rep := Run(5, Options{
+			Override: func(cfg *ScenarioConfig) { lossyOverride(cfg); serveOverride(cfg) },
+			Workers:  workers,
+			Metrics:  reg,
+		})
+		return rep, fmt.Sprintf("%+v", *reg.Snapshot())
+	}
+	serial, serialSnap := run(1)
+	if serial.Failed() {
+		t.Fatalf("lossy serve scenario failed serially:\n%s", serial.String())
+	}
+	par, parSnap := run(8)
+	if par.Fingerprint != serial.Fingerprint {
+		t.Fatalf("workers=8 fingerprint %016x != workers=1 %016x", par.Fingerprint, serial.Fingerprint)
+	}
+	if parSnap != serialSnap {
+		t.Fatalf("metric snapshots differ across workers:\n%s\nvs\n%s", parSnap, serialSnap)
+	}
+	if fmt.Sprint(par.TraceSummaries) != fmt.Sprint(serial.TraceSummaries) {
+		t.Fatalf("trace summaries differ across workers:\n%v\nvs\n%v",
+			par.TraceSummaries, serial.TraceSummaries)
+	}
+}
+
 // TestSimCheckCoversMechanisms checks the sweep actually exercises the
 // machinery the invariants guard: across the -short seed range the
 // scenarios must include multi-node clusters, queued controllers, fault

@@ -21,7 +21,10 @@ type GaugeSnap struct {
 }
 
 // HistSnap is one histogram's rendered state, with the percentile
-// readout the paper's latency tables are built from.
+// readout the paper's latency tables are built from. P999 is the
+// serving-SLO tail (internal/loadgen's sojourn readout); with few
+// samples it degenerates toward the observed max, which is the honest
+// answer for a tail nobody sampled.
 type HistSnap struct {
 	Name  string  `json:"name"`
 	Count uint64  `json:"count"`
@@ -32,6 +35,7 @@ type HistSnap struct {
 	P50   float64 `json:"p50"`
 	P90   float64 `json:"p90"`
 	P99   float64 `json:"p99"`
+	P999  float64 `json:"p999"`
 }
 
 // Snapshot is a point-in-time, deterministically ordered rendering of a
@@ -73,7 +77,8 @@ func (r *Registry) Snapshot() *Snapshot {
 	for k, h := range hists {
 		s.Histograms = append(s.Histograms, HistSnap{
 			Name: k, Count: h.Count(), Sum: h.Sum(), Min: h.Min(), Max: h.Max(),
-			Mean: h.Mean(), P50: h.Quantile(0.50), P90: h.Quantile(0.90), P99: h.Quantile(0.99),
+			Mean: h.Mean(), P50: h.Quantile(0.50), P90: h.Quantile(0.90),
+			P99: h.Quantile(0.99), P999: h.Quantile(0.999),
 		})
 	}
 	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
@@ -120,8 +125,8 @@ func (s *Snapshot) WriteText(w io.Writer) {
 	if len(s.Histograms) > 0 {
 		fmt.Fprintln(w, "histograms:")
 		for _, h := range s.Histograms {
-			fmt.Fprintf(w, "  %-*s  count=%d min=%d p50=%.0f p90=%.0f p99=%.0f max=%d mean=%.1f\n",
-				width, h.Name, h.Count, h.Min, h.P50, h.P90, h.P99, h.Max, h.Mean)
+			fmt.Fprintf(w, "  %-*s  count=%d min=%d p50=%.0f p90=%.0f p99=%.0f p999=%.0f max=%d mean=%.1f\n",
+				width, h.Name, h.Count, h.Min, h.P50, h.P90, h.P99, h.P999, h.Max, h.Mean)
 		}
 	}
 	if s.SpansTotal > 0 {

@@ -97,10 +97,37 @@ func TestHistogramQuantiles(t *testing.T) {
 	// Quantiles never extrapolate past observed extremes.
 	var one Histogram
 	one.Observe(777)
-	for _, q := range []float64{0, 0.5, 0.9, 0.99, 1} {
+	for _, q := range []float64{0, 0.5, 0.9, 0.99, 0.999, 1} {
 		if got := one.Quantile(q); got != 777 {
 			t.Fatalf("single-sample quantile(%g) = %g", q, got)
 		}
+	}
+}
+
+// TestHistogramP999TailBucket pins the tail readout the serving SLOs
+// depend on: with 1000 samples in a low bucket and a handful of slow
+// outliers in a far higher bucket, p999 must land in the outlier
+// bucket (p99 must not), and it must stay clamped to the observed max.
+func TestHistogramP999TailBucket(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 1000; i++ {
+		h.Observe(100) // bucket [64,128)
+	}
+	for i := 0; i < 2; i++ {
+		h.Observe(1 << 20) // the stragglers: bucket [2^20, 2^21)
+	}
+	p99, p999 := h.Quantile(0.99), h.Quantile(0.999)
+	if p99 >= 128 {
+		t.Fatalf("p99 = %g, want inside the fast bucket (< 128)", p99)
+	}
+	if p999 < 1<<20 {
+		t.Fatalf("p999 = %g, want inside the tail bucket (>= %d)", p999, 1<<20)
+	}
+	if max := float64(h.Max()); p999 > max {
+		t.Fatalf("p999 = %g extrapolated past observed max %g", p999, max)
+	}
+	if p999 < p99 {
+		t.Fatalf("p999 %g < p99 %g", p999, p99)
 	}
 }
 
@@ -165,7 +192,7 @@ func TestSnapshotTextAndJSON(t *testing.T) {
 	out := text.String()
 	for _, want := range []string{
 		"bus_pio_words{node=0}", "udma_queue_depth{node=0}",
-		"udma_xfer_latency_cycles{node=0}", "p50=", "p99=",
+		"udma_xfer_latency_cycles{node=0}", "p50=", "p99=", "p999=",
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("text snapshot missing %q:\n%s", want, out)
@@ -181,7 +208,7 @@ func TestSnapshotTextAndJSON(t *testing.T) {
 		t.Fatalf("snapshot JSON invalid: %v", err)
 	}
 	hs, ok := decoded.Hist("udma_xfer_latency_cycles{node=0}")
-	if !ok || hs.Count != 100 || hs.P50 <= 0 || hs.P99 <= 0 {
+	if !ok || hs.Count != 100 || hs.P50 <= 0 || hs.P99 <= 0 || hs.P999 <= 0 {
 		t.Fatalf("decoded histogram: %+v (ok=%v)", hs, ok)
 	}
 

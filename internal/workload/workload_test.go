@@ -40,6 +40,33 @@ func TestPayloadLastWordNonzero(t *testing.T) {
 	}
 }
 
+// TestPayloadTinyBuffers covers the n < 4 tail of the final-word fixup:
+// its i >= 0 guard must keep sub-word payloads in bounds, and since
+// every byte of such a payload falls inside the fixup range, every byte
+// must come out nonzero — a receiver polling any of them sees arrival.
+func TestPayloadTinyBuffers(t *testing.T) {
+	if got := Payload(0, 3); len(got) != 0 {
+		t.Fatalf("Payload(0, 3) returned %d bytes", len(got))
+	}
+	for n := 1; n < 4; n++ {
+		for seed := 0; seed < 256; seed++ {
+			p := Payload(n, byte(seed))
+			if len(p) != n {
+				t.Fatalf("Payload(%d, %d) returned %d bytes", n, seed, len(p))
+			}
+			for i, b := range p {
+				if b == 0 {
+					t.Fatalf("Payload(%d, %d) byte %d is zero", n, seed, i)
+				}
+			}
+		}
+	}
+	// Tiny payloads stay seed-dependent where the fixup leaves room.
+	if Payload(2, 1)[0] == Payload(2, 2)[0] {
+		t.Fatal("2-byte payloads identical across seeds")
+	}
+}
+
 func TestSweepsAreSane(t *testing.T) {
 	for name, sizes := range map[string][]int{
 		"fig8":  Fig8Sizes(),
