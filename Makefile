@@ -2,7 +2,7 @@ GO ?= go
 GOFMT ?= gofmt
 FUZZTIME ?= 10s
 
-.PHONY: all build vet fmt test race check bench experiments faults lossy serve fuzz simcheck cover profile
+.PHONY: all build vet fmt test race check bench experiments faults lossy serve churn fuzz simcheck cover profile
 
 all: check
 
@@ -56,6 +56,13 @@ lossy:
 # rerun plus a 4-worker run must reproduce the fingerprint).
 serve:
 	$(GO) run ./cmd/shrimpsim -scenario serve
+
+# churn runs the connection-churn trial: short-lived flows (one NIPT
+# entry each) against a bounded on-board NIPT cache, with idle
+# reliability state reclaimed at barriers, plus the same bit-exactness
+# proof as serve.
+churn:
+	$(GO) run ./cmd/shrimpsim -scenario churn
 
 # fuzz gives each native fuzz target a short budget (override with
 # FUZZTIME=5m for a longer soak). Each target must be fuzzed alone:

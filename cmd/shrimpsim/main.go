@@ -13,6 +13,8 @@
 //	shrimpsim -scenario contention  # queued senders: latency under load
 //	shrimpsim -scenario serve       # open-loop load at a fixed offered rate
 //	shrimpsim -scenario serve -rate 1000 -nodes 4
+//	shrimpsim -scenario churn       # short-lived flows vs a bounded NIPT cache
+//	shrimpsim -scenario churn -capacity 16
 //	shrimpsim -scenario fuzz        # randomized run under the invariant auditor
 //	shrimpsim -scenario fuzz -seed 7 -count 100
 //	shrimpsim -nodes 8 -size 16384  # scenario parameters
@@ -57,13 +59,14 @@ import (
 
 func main() {
 	var (
-		scenario   = flag.String("scenario", "send", "send | cluster | share | paging | autoupdate | faults | lossy | contention | serve | fuzz")
+		scenario   = flag.String("scenario", "send", "send | cluster | share | paging | autoupdate | faults | lossy | contention | serve | churn | fuzz")
 		nodes      = flag.Int("nodes", 4, "cluster scenario: node count")
 		size       = flag.Int("size", 4096, "message size in bytes")
 		senders    = flag.Int("senders", 4, "share/contention scenarios: processes")
 		seed       = flag.Uint64("seed", experiments.FaultSeed, "faults/fuzz scenarios: RNG seed (fuzz: first seed)")
 		count      = flag.Int("count", 1, "fuzz scenario: number of consecutive seeds to run")
-		rate       = flag.Float64("rate", 300, "serve scenario: offered load in messages per million cycles")
+		rate       = flag.Float64("rate", 300, "serve/churn scenarios: offered load in messages per million cycles")
+		capacity   = flag.Int("capacity", 8, "churn scenario: NIPT cache capacity in entries (0 = unbounded)")
 		withTrace  = flag.Bool("trace", false, "send scenario: dump the hardware event trace")
 		metrics    = flag.Bool("metrics", false, "print a telemetry snapshot after the scenario")
 		metricsOut = flag.String("metrics-out", "", "write the telemetry snapshot as JSON to this file")
@@ -129,6 +132,8 @@ func main() {
 		err = scenarioContention(*senders, *size, o)
 	case "serve":
 		err = scenarioServe(*seed, *nodes, *rate, o)
+	case "churn":
+		err = scenarioChurn(*seed, *nodes, *rate, *capacity, o)
 	case "fuzz":
 		err = scenarioFuzz(*seed, *count, *workers)
 	default:
@@ -568,6 +573,69 @@ func scenarioServe(seed uint64, nodes int, rate float64, o *obs) error {
 		fmt.Println("the offered rate is past the saturation knee: queues grew and sojourn tails absorbed the backlog")
 	} else {
 		fmt.Println("the system kept up with the offered rate (below the saturation knee)")
+	}
+
+	again, err := run(1, nil)
+	if err != nil {
+		return err
+	}
+	if res.Fingerprint() != again.Fingerprint() {
+		return fmt.Errorf("same seed produced different trials: %016x vs %016x",
+			res.Fingerprint(), again.Fingerprint())
+	}
+	wide, err := run(4, nil)
+	if err != nil {
+		return err
+	}
+	if res.Fingerprint() != wide.Fingerprint() {
+		return fmt.Errorf("workers 1 and 4 diverge: %016x vs %016x",
+			res.Fingerprint(), wide.Fingerprint())
+	}
+	fmt.Printf("\nfingerprint %016x reproduced exactly: serial rerun and a 4-worker run\n", res.Fingerprint())
+	return nil
+}
+
+// scenarioChurn runs the connection-churn workload: a live population
+// of short-lived flows (each dying after a few messages, a fresh flow
+// taking its slot), one NIPT entry per flow, against a bounded on-board
+// NIPT cache over the host-memory backing table, with idle reliability
+// state reclaimed at lockstep barriers. The readout shows what the
+// cache costs — misses, evictions, refill cycles, sojourn tails — and
+// proves the trial bit-exact across a rerun and a 4-worker run.
+func scenarioChurn(seed uint64, nodes int, rate float64, capacity int, o *obs) error {
+	if seed == experiments.FaultSeed {
+		seed = experiments.ChurnSeed // remap the faults-scenario default
+	}
+	if nodes < 2 {
+		nodes = 2
+	}
+	costs := machine.SHRIMP1996()
+	o.setCosts(costs)
+	run := func(workers int, reg *telemetry.Registry) (*loadgen.Result, error) {
+		return loadgen.RunTrial(loadgen.TrialConfig{
+			Config:           loadgen.Config{Nodes: nodes, Seed: seed, Rate: rate, Churn: true},
+			Workers:          workers,
+			NIPTCapacity:     capacity,
+			NIPTRefillJitter: 64,
+			IdleReclaimAge:   150_000,
+			Metrics:          reg,
+		})
+	}
+	res, err := run(1, o.registry())
+	if err != nil {
+		return err
+	}
+	capLabel := fmt.Sprint(capacity)
+	if capacity == 0 {
+		capLabel = "unbounded"
+	}
+	fmt.Printf("# connection churn (seed %#x): %d nodes, %d messages, %d live flows, NIPT capacity %s\n",
+		seed, nodes, res.Messages, res.Cfg.ActiveFlows, capLabel)
+	res.WriteTable(os.Stdout, costs)
+	fmt.Printf("order violations %d, retries %d, credit stalls %d, retransmits %d\n",
+		res.OrderViolations, res.Retries, res.CreditStalls, res.Retransmits)
+	if capacity > 0 && res.NIPTMisses == 0 {
+		fmt.Println("the cache held the whole working set: no refills were ever paid")
 	}
 
 	again, err := run(1, nil)

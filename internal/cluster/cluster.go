@@ -311,6 +311,13 @@ func (c *Cluster) Rounds() uint64 { return c.rounds }
 func (c *Cluster) Step(horizon sim.Cycles) (progress bool, err error) {
 	c.rounds++
 	c.Backplane.Flush()
+	// Reclaim idle reliability state at the barrier, after the flush and
+	// before any worker runs: reclamation then observes barrier-consistent
+	// quiescence on every board, keeping it — like every other cross-node
+	// control action — bit-identical at any worker count (reclaim.go).
+	for _, nic := range c.NICs {
+		nic.ReclaimIdle()
+	}
 	c.computeHorizons(horizon)
 	c.pool.Run(len(c.Nodes), c.stepFn)
 	// Aggregate in node order so the reported error is deterministic.
@@ -492,6 +499,7 @@ func (c *Cluster) PublishRollup() {
 	}
 	var pktsSent, bytesSent, pktsRecv, bytesRecv, drops uint64
 	var retrans, retransBytes, creditStalls, deliveryFails uint64
+	var niptHits, niptMisses, niptEvict, niptRefill, reclaims uint64
 	for i, n := range c.Nodes {
 		c.Nodes[i].Metrics.Gauge("node_clock_cycles").Set(int64(n.Clock.Now()))
 		s := c.NICs[i].Stats()
@@ -504,6 +512,11 @@ func (c *Cluster) PublishRollup() {
 		retransBytes += s.RetransBytes
 		creditStalls += s.CreditStalls
 		deliveryFails += s.DeliveryFailures
+		niptHits += s.NIPTHits
+		niptMisses += s.NIPTMisses
+		niptEvict += s.NIPTEvictions
+		niptRefill += s.NIPTRefillCycles
+		reclaims += s.SenderReclaims + s.ReceiverReclaims
 	}
 	root := c.metrics.Scope()
 	root.Gauge("cluster_nodes").Set(int64(len(c.Nodes)))
@@ -517,6 +530,11 @@ func (c *Cluster) PublishRollup() {
 	root.Gauge("cluster_retrans_bytes").Set(int64(retransBytes))
 	root.Gauge("cluster_credit_stalls").Set(int64(creditStalls))
 	root.Gauge("cluster_delivery_failures").Set(int64(deliveryFails))
+	root.Gauge("cluster_nipt_hits").Set(int64(niptHits))
+	root.Gauge("cluster_nipt_misses").Set(int64(niptMisses))
+	root.Gauge("cluster_nipt_evictions").Set(int64(niptEvict))
+	root.Gauge("cluster_nipt_refill_cycles").Set(int64(niptRefill))
+	root.Gauge("cluster_rel_reclaims").Set(int64(reclaims))
 	fs := c.Backplane.FaultStats()
 	root.Gauge("cluster_wire_drops").Set(int64(fs.Drops + fs.FlapDrops))
 	root.Gauge("cluster_wire_dups").Set(int64(fs.Dups))

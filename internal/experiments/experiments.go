@@ -81,6 +81,7 @@ var registry = map[string]struct {
 	"e13": {"Extension: lossy wire, reliable delivery — goodput and latency vs loss", RunLossyWire},
 	"e14": {"Extension: parallel simulation — serial vs parallel wall-clock speedup", RunParallelSpeedup},
 	"e15": {"Extension: open-loop serving — offered-rate sweep and SLO readout", RunServe},
+	"e16": {"Extension: connection churn — goodput and tails vs NIPT cache capacity", RunChurn},
 }
 
 // sweepWorkers is how many host goroutines the rate/seed sweeps inside

@@ -1,0 +1,161 @@
+package loadgen
+
+import (
+	"reflect"
+	"testing"
+)
+
+// churnConfig is the shared churn trial shape: enough messages for a
+// few generations of flow death, a small live population, and a short
+// mean flow life — the access pattern that pressures a bounded NIPT.
+func churnConfig(rate float64) TrialConfig {
+	return TrialConfig{
+		Config: Config{
+			Nodes:       3,
+			Seed:        11,
+			Rate:        rate,
+			Messages:    240,
+			Churn:       true,
+			ActiveFlows: 24,
+			MsgsPerFlow: 2,
+		},
+		NIPTRefillJitter: 32,
+		IdleReclaimAge:   60_000,
+	}
+}
+
+func TestChurnPlanDeterministic(t *testing.T) {
+	cfg := churnConfig(150).Config
+	a, b := BuildPlan(cfg), BuildPlan(cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two churn plans from one config differ")
+	}
+	if a.FlowDeaths == 0 {
+		t.Fatal("no flow deaths: the schedule never churned")
+	}
+	if len(a.Flows) != cfg.ActiveFlows+a.FlowDeaths {
+		t.Fatalf("%d flows != %d live + %d deaths", len(a.Flows), cfg.ActiveFlows, a.FlowDeaths)
+	}
+	if got := a.NIPTEntries(); got != uint32(len(a.Flows)) {
+		t.Fatalf("churn NIPTEntries %d, want one per flow (%d)", got, len(a.Flows))
+	}
+	// Schedules stay time-ordered per source, per-flow sequences count
+	// up from zero, and no flow sends to itself — churn must not weaken
+	// any invariant of the fixed flow model.
+	seq := make(map[int]int)
+	total := 0
+	for src, arr := range a.Arrivals {
+		total += len(arr)
+		for i, ar := range arr {
+			if i > 0 && ar.At < arr[i-1].At {
+				t.Fatalf("node %d arrivals out of order at %d", src, i)
+			}
+			if a.Flows[ar.Flow].Src != src {
+				t.Fatalf("flow %d scheduled on node %d but pinned to %d", ar.Flow, src, a.Flows[ar.Flow].Src)
+			}
+			if want := seq[ar.Flow]; ar.Seq != want {
+				t.Fatalf("flow %d seq %d, want %d", ar.Flow, ar.Seq, want)
+			}
+			seq[ar.Flow]++
+		}
+	}
+	if total != cfg.Messages {
+		t.Fatalf("scheduled %d arrivals, want %d", total, cfg.Messages)
+	}
+	for f, fl := range a.Flows {
+		if fl.Src == fl.Dst {
+			t.Fatalf("flow %d is a self-loop (node %d)", f, fl.Src)
+		}
+	}
+	// A dead flow never reappears in the schedule: its arrivals must
+	// not exceed the budget ceiling 2*MsgsPerFlow-1.
+	for f, n := range seq {
+		if max := 2*cfg.MsgsPerFlow - 1; n > max {
+			t.Fatalf("flow %d got %d arrivals, budget ceiling is %d", f, n, max)
+		}
+	}
+}
+
+func TestChurnTrialServesUnderCachePressure(t *testing.T) {
+	tc := churnConfig(150)
+	tc.NIPTCapacity = 8 // far below the flow population
+	res, err := RunTrial(tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered+res.Failed != res.Messages {
+		t.Fatalf("churn accounting: %d+%d != %d", res.Delivered, res.Failed, res.Messages)
+	}
+	if res.Failed != 0 || res.OrderViolations != 0 {
+		t.Fatalf("clean churn trial: %d failed, %d order violations", res.Failed, res.OrderViolations)
+	}
+	if res.FlowDeaths == 0 {
+		t.Fatal("trial readout lost the plan's flow deaths")
+	}
+	if res.NIPTMisses == 0 || res.NIPTEvictions == 0 || res.NIPTRefillCycles == 0 {
+		t.Fatalf("capacity 8 under churn never missed: %+v", res)
+	}
+	if res.NIPTHits+res.NIPTMisses != res.NIPTLookups {
+		t.Fatalf("nipt accounting: %d hits + %d misses != %d lookups",
+			res.NIPTHits, res.NIPTMisses, res.NIPTLookups)
+	}
+	if res.Reclaims == 0 {
+		t.Fatal("no idle reliability state reclaimed over the trial")
+	}
+	if res.Resurrections == 0 {
+		t.Fatal("no reclaimed link was ever resurrected by fresh traffic")
+	}
+}
+
+// TestChurnCapacityEquivalence is the trial-level analogue of the nic
+// package's property test: a cache big enough for every flow entry is
+// bit-identical to the unbounded table — same fingerprint, which folds
+// in every delivery count, sojourn aggregate, queue sample and NIPT
+// counter.
+func TestChurnCapacityEquivalence(t *testing.T) {
+	tc := churnConfig(150)
+	unbounded, err := RunTrial(tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc.NIPTCapacity = int(BuildPlan(tc.Config).NIPTEntries())
+	ample, err := RunTrial(tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unbounded.Fingerprint() != ample.Fingerprint() {
+		t.Fatalf("ample capacity diverged from unbounded: %016x vs %016x",
+			unbounded.Fingerprint(), ample.Fingerprint())
+	}
+	if unbounded.NIPTMisses != 0 || ample.NIPTMisses != 0 {
+		t.Fatalf("misses without capacity pressure: %d / %d",
+			unbounded.NIPTMisses, ample.NIPTMisses)
+	}
+}
+
+func TestChurnBitExactAcrossRunsAndWorkers(t *testing.T) {
+	tc := churnConfig(200)
+	tc.NIPTCapacity = 8
+	base, err := RunTrial(tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := RunTrial(tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Fingerprint() != again.Fingerprint() {
+		t.Fatalf("same churn config, different fingerprints: %016x vs %016x",
+			base.Fingerprint(), again.Fingerprint())
+	}
+	par := tc
+	par.Workers = 4
+	wide, err := RunTrial(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Fingerprint() != wide.Fingerprint() {
+		t.Fatalf("churn workers 1 vs 4 diverge: %016x vs %016x",
+			base.Fingerprint(), wide.Fingerprint())
+	}
+}

@@ -89,6 +89,12 @@ type Driver struct {
 	stopRecv    bool
 	ctlErr      error
 
+	// Churn mode: receiver exports parked per node until every window is
+	// known, then one NIPT entry per flow is installed in a single
+	// barrier pass (flowsPublished latches that it happened once).
+	windows        [][]uint32
+	flowsPublished bool
+
 	work []*kernel.Proc // every non-receiver process
 }
 
@@ -104,6 +110,7 @@ func NewDriver(plan *Plan, cl *cluster.Cluster, opts DriverOptions) *Driver {
 	}
 	dr := &Driver{Plan: plan, cl: cl, opts: opts}
 	dr.published = make([]bool, plan.Cfg.Nodes)
+	dr.windows = make([][]uint32, plan.Cfg.Nodes)
 	for c := 0; c < NumClasses; c++ {
 		dr.hist[c] = &telemetry.Histogram{}
 		dr.mhist[c] = opts.Metrics.Histogram("loadgen_sojourn_cycles",
@@ -239,19 +246,24 @@ func (dr *Driver) serverBody(node, dst int) func(p *kernel.Proc) {
 			}
 			ns.lastSeq[ar.Flow] = ar.Seq
 
-			size := fl.Class.Size(cfg.WindowPages)
+			entry := entryBase + uint32(ar.Seq%cfg.WindowPages)
+			if fl.Class == ClassLarge {
+				entry = entryBase // multi-page: span the window from its base
+			}
+			if cfg.Churn {
+				// Every flow ships through its own single-page window:
+				// the entry index is the flow id.
+				entry = uint32(ar.Flow)
+			}
+			size := dr.Plan.MsgSize(fl.Class)
 			var serr error
 			switch fl.Class {
 			case ClassSmall:
 				// Spread PIO bursts across the window page, 64B apart.
 				off := uint32(ar.Seq%63) * 64
-				serr = pioSend(p, pioBase, entryBase+uint32(ar.Seq%cfg.WindowPages), off,
-					size/4, uint32(ar.Flow)<<8)
-			case ClassMid:
-				devOff := udmalib.WindowOff(entryBase+uint32(ar.Seq%cfg.WindowPages), 0)
-				serr = d.SendRetry(buf, devOff, size, dr.opts.Retry)
+				serr = pioSend(p, pioBase, entry, off, size/4, uint32(ar.Flow)<<8)
 			default:
-				serr = d.SendRetry(buf, udmalib.WindowOff(entryBase, 0), size, dr.opts.Retry)
+				serr = d.SendRetry(buf, udmalib.WindowOff(entry, 0), size, dr.opts.Retry)
 			}
 			now := p.Now()
 			switch {
@@ -344,25 +356,56 @@ func (dr *Driver) PublishControl() {
 			allPublished = false
 			continue
 		}
-		base := uint32(r * dr.Plan.Cfg.WindowPages)
-		for s := range dr.nodes {
-			if s == r {
-				continue
-			}
-			if err := udmalib.MapSendWindow(dr.cl.NICs[s], base, r, ns.pendingPfns); err != nil {
-				dr.ctlErr = fmt.Errorf("loadgen: publish node %d window into sender %d: %w", r, s, err)
-				dr.stopRecv = true
-				return
+		if dr.Plan.Cfg.Churn {
+			// Flow entries need every destination window at once; park
+			// the export until the last receiver reports in.
+			dr.windows[r] = ns.pendingPfns
+		} else {
+			base := uint32(r * dr.Plan.Cfg.WindowPages)
+			for s := range dr.nodes {
+				if s == r {
+					continue
+				}
+				if err := udmalib.MapSendWindow(dr.cl.NICs[s], base, r, ns.pendingPfns); err != nil {
+					dr.ctlErr = fmt.Errorf("loadgen: publish node %d window into sender %d: %w", r, s, err)
+					dr.stopRecv = true
+					return
+				}
 			}
 		}
 		dr.published[r] = true
 	}
 	if allPublished {
+		if dr.Plan.Cfg.Churn && !dr.flowsPublished {
+			if err := dr.publishFlowEntries(); err != nil {
+				dr.ctlErr = err
+				dr.stopRecv = true
+				return
+			}
+			dr.flowsPublished = true
+		}
 		dr.windowReady = true
 	}
 	if !dr.stopRecv && dr.workDone() {
 		dr.stopRecv = true
 	}
+}
+
+// publishFlowEntries installs one NIPT entry per flow on its source
+// NIC — entry index == flow id, pointing at one frame of the
+// destination's exported window. The backing table thus spans the whole
+// flow population (thousands of short-lived mappings under churn) while
+// a bounded NIPT cache chases only the live working set. Runs once, at
+// a barrier, in flow order: identical at every worker count.
+func (dr *Driver) publishFlowEntries() error {
+	for f, fl := range dr.Plan.Flows {
+		pfns := dr.windows[fl.Dst]
+		e := nic.NIPTEntry{Valid: true, DestNode: fl.Dst, DestPFN: pfns[f%len(pfns)]}
+		if err := dr.cl.NICs[fl.Src].SetNIPT(uint32(f), e); err != nil {
+			return fmt.Errorf("loadgen: install flow %d entry on node %d: %w", f, fl.Src, err)
+		}
+	}
+	return nil
 }
 
 // workDone reports whether every pacer, server and sampler has exited

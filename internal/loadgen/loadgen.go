@@ -109,6 +109,20 @@ type Config struct {
 	// SampleEvery is the queue-depth/credit-stall sampling period per
 	// node (default 10_000 cycles).
 	SampleEvery sim.Cycles
+
+	// Churn switches the flow model to connection churn: instead of a
+	// fixed population drawn uniformly, ActiveFlows flows are live at
+	// any instant, each dies after a seeded per-flow message budget, and
+	// a fresh flow — new identity, new (src, dst, class), its own NIPT
+	// entry — immediately takes its slot. Total flows ≈
+	// Messages/MsgsPerFlow (thousands at scale): the workload that
+	// pressures a bounded NIPT cache and the reliability-state pools.
+	Churn bool
+	// ActiveFlows is the live-flow population in churn mode (default 64).
+	ActiveFlows int
+	// MsgsPerFlow is the mean per-flow message budget in churn mode
+	// (default 3); each flow draws uniformly in [1, 2*MsgsPerFlow-1].
+	MsgsPerFlow int
 }
 
 func (c Config) withDefaults() Config {
@@ -135,6 +149,14 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SampleEvery == 0 {
 		c.SampleEvery = 10_000
+	}
+	if c.Churn {
+		if c.ActiveFlows == 0 {
+			c.ActiveFlows = 64
+		}
+		if c.MsgsPerFlow == 0 {
+			c.MsgsPerFlow = 3
+		}
 	}
 	return c
 }
@@ -170,6 +192,9 @@ type Plan struct {
 	// Offered and OfferedBytes count the schedule per class.
 	Offered      [NumClasses]int
 	OfferedBytes [NumClasses]uint64
+	// FlowDeaths counts flows whose message budget ran out during the
+	// schedule (churn mode only); each death birthed a replacement flow.
+	FlowDeaths int
 }
 
 // BuildPlan derives a trial's complete arrival schedule from the seed.
@@ -186,8 +211,7 @@ func BuildPlan(cfg Config) *Plan {
 	p := &Plan{Cfg: cfg}
 
 	weight := cfg.MixSmall + cfg.MixMid + cfg.MixLarge
-	p.Flows = make([]Flow, cfg.Flows)
-	for f := range p.Flows {
+	newFlow := func() Flow {
 		src := rng.Intn(cfg.Nodes)
 		dst := (src + 1 + rng.Intn(cfg.Nodes-1)) % cfg.Nodes
 		class := ClassSmall
@@ -199,7 +223,17 @@ func BuildPlan(cfg Config) *Plan {
 		default:
 			class = ClassLarge
 		}
-		p.Flows[f] = Flow{Src: src, Dst: dst, Class: class}
+		return Flow{Src: src, Dst: dst, Class: class}
+	}
+
+	if cfg.Churn {
+		buildChurn(p, rng, newFlow)
+		return p
+	}
+
+	p.Flows = make([]Flow, cfg.Flows)
+	for f := range p.Flows {
+		p.Flows[f] = newFlow()
 	}
 
 	meanGap := 1e6 / cfg.Rate
@@ -225,9 +259,75 @@ func BuildPlan(cfg Config) *Plan {
 	return p
 }
 
-// NIPTEntries is the sender NIPT capacity a plan needs: one
-// WindowPages-sized window per destination node, at entry base
-// dst*WindowPages.
+// buildChurn derives a connection-churn schedule: ActiveFlows live
+// slots, each holding a flow with a seeded message budget drawn in
+// [1, 2*MsgsPerFlow-1]. Every arrival picks a uniform live slot; when
+// the slot's budget hits zero the flow dies on simulated time and a
+// freshly drawn flow — new identity (appended to p.Flows), new
+// (src, dst, class) — is born into the slot. The flow population thus
+// grows to ≈ Messages/MsgsPerFlow distinct identities over the
+// schedule, each needing its own NIPT entry for only a short life: the
+// access pattern that makes a bounded NIPT cache and idle-state
+// reclamation earn their keep.
+func buildChurn(p *Plan, rng *sim.RNG, newFlow func() Flow) {
+	cfg := p.Cfg
+	slots := make([]int, cfg.ActiveFlows)  // slot -> flow id
+	budget := make([]int, cfg.ActiveFlows) // messages left before death
+	drawBudget := func() int { return 1 + rng.Intn(2*cfg.MsgsPerFlow-1) }
+	for s := range slots {
+		slots[s] = len(p.Flows)
+		p.Flows = append(p.Flows, newFlow())
+		budget[s] = drawBudget()
+	}
+
+	meanGap := 1e6 / cfg.Rate
+	p.Arrivals = make([][]Arrival, cfg.Nodes)
+	var seq []int // per flow id, grown as flows are born
+	t := cfg.StartAt
+	for m := 0; m < cfg.Messages; m++ {
+		gap := sim.Cycles(-math.Log(1-rng.Float64()) * meanGap)
+		if gap < 1 {
+			gap = 1
+		}
+		t += gap
+		s := rng.Intn(cfg.ActiveFlows)
+		f := slots[s]
+		fl := p.Flows[f]
+		for len(seq) <= f {
+			seq = append(seq, 0)
+		}
+		p.Arrivals[fl.Src] = append(p.Arrivals[fl.Src], Arrival{At: t, Flow: f, Seq: seq[f]})
+		seq[f]++
+		p.Offered[fl.Class]++
+		p.OfferedBytes[fl.Class] += uint64(p.MsgSize(fl.Class))
+		if budget[s]--; budget[s] == 0 {
+			p.FlowDeaths++
+			slots[s] = len(p.Flows)
+			p.Flows = append(p.Flows, newFlow())
+			budget[s] = drawBudget()
+		}
+	}
+	p.Span = t - cfg.StartAt
+}
+
+// NIPTEntries is the sender NIPT capacity a plan needs. In the fixed
+// flow model: one WindowPages-sized window per destination node, at
+// entry base dst*WindowPages. In churn mode every flow owns one entry
+// (its index is the flow id), so the table spans the whole flow
+// population — the working set a bounded cache then has to chase.
 func (p *Plan) NIPTEntries() uint32 {
+	if p.Cfg.Churn {
+		return uint32(len(p.Flows))
+	}
 	return uint32(p.Cfg.Nodes * p.Cfg.WindowPages)
+}
+
+// MsgSize is the payload size class c ships under this plan. In churn
+// mode every flow owns a single-page window, so ClassLarge caps at one
+// page; the fixed flow model spans the whole WindowPages window.
+func (p *Plan) MsgSize(c Class) int {
+	if p.Cfg.Churn && c == ClassLarge {
+		return addr.PageSize
+	}
+	return c.Size(p.Cfg.WindowPages)
 }

@@ -65,6 +65,20 @@ type Result struct {
 	Retransmits      uint64
 	DeliveryFailures uint64
 
+	// NIPT cache aggregates across all nodes (zero when the cache is
+	// unbounded and no lookups missed).
+	NIPTLookups      uint64
+	NIPTHits         uint64
+	NIPTMisses       uint64
+	NIPTEvictions    uint64
+	NIPTRefillCycles uint64
+
+	// Reliability-state reclamation aggregates, and the plan's flow
+	// churn (FlowDeaths is schedule data, not simulation output).
+	Reclaims      uint64
+	Resurrections uint64
+	FlowDeaths    int
+
 	// Samples[node] is each node's queue-depth time series.
 	Samples [][]Sample
 }
@@ -88,6 +102,9 @@ func (r *Result) Fingerprint() uint64 {
 		r.Span, r.Elapsed, r.Messages, r.Delivered, r.Failed,
 		r.DeliveredBytes, r.OrderViolations, r.MaxQueueDepth, r.Retries)
 	fmt.Fprintf(h, " stall=%d rtx=%d dfail=%d", r.CreditStalls, r.Retransmits, r.DeliveryFailures)
+	fmt.Fprintf(h, " nipt=%d/%d/%d/%d/%d rec=%d res=%d deaths=%d",
+		r.NIPTLookups, r.NIPTHits, r.NIPTMisses, r.NIPTEvictions, r.NIPTRefillCycles,
+		r.Reclaims, r.Resurrections, r.FlowDeaths)
 	for c := range r.Classes {
 		s := &r.Classes[c]
 		fmt.Fprintf(h, " c%d=%d/%d/%d/%d max=%d", c, s.Offered, s.Delivered, s.Failed, s.Bytes, s.MaxSojourn)
@@ -110,6 +127,12 @@ func (r *Result) WriteTable(w io.Writer, costs *sim.CostModel) {
 	}
 	fmt.Fprintf(w, "offered %.1f msgs/Mcycle, achieved %.1f; goodput %.0f B/Mcycle; max queue depth %d\n",
 		r.OfferedRate, r.AchievedRate, r.Goodput(), r.MaxQueueDepth)
+	if r.Cfg.Churn {
+		fmt.Fprintf(w, "churn: %d flows (%d deaths); nipt %d lookups, %d misses, %d evictions, %d refill cycles; reclaims %d, resurrections %d\n",
+			r.FlowDeaths+r.Cfg.ActiveFlows, r.FlowDeaths,
+			r.NIPTLookups, r.NIPTMisses, r.NIPTEvictions, r.NIPTRefillCycles,
+			r.Reclaims, r.Resurrections)
+	}
 	fmt.Fprintf(w, "%-16s %8s %10s %7s %10s %10s %10s\n",
 		"class", "offered", "delivered", "failed", "p50 "+unit, "p99 "+unit, "p999 "+unit)
 	for c := range r.Classes {
@@ -160,7 +183,15 @@ func (dr *Driver) Finish() (*Result, error) {
 		r.CreditStalls += st.CreditStalls
 		r.Retransmits += st.Retransmits
 		r.DeliveryFailures += st.DeliveryFailures
+		r.NIPTLookups += st.NIPTLookups
+		r.NIPTHits += st.NIPTHits
+		r.NIPTMisses += st.NIPTMisses
+		r.NIPTEvictions += st.NIPTEvictions
+		r.NIPTRefillCycles += st.NIPTRefillCycles
+		r.Reclaims += st.SenderReclaims + st.ReceiverReclaims
+		r.Resurrections += st.Resurrections
 	}
+	r.FlowDeaths = dr.Plan.FlowDeaths
 	for c := 0; c < NumClasses; c++ {
 		s := &r.Classes[c]
 		s.Class = Class(c).String()

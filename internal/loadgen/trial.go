@@ -42,6 +42,16 @@ type TrialConfig struct {
 	Retry udmalib.RetryPolicy
 	// Metrics mirrors driver instruments into a registry (optional).
 	Metrics *telemetry.Registry
+
+	// NIPTCapacity bounds the on-board NIPT cache over the host-memory
+	// backing table (0 = unbounded, the pre-cache behavior). Misses pay
+	// a seeded refill on simulated time; NIPTRefillJitter widens the
+	// refill cost draw.
+	NIPTCapacity     int
+	NIPTRefillJitter sim.Cycles
+	// IdleReclaimAge ages idle per-destination reliability state into
+	// the free pools at lockstep barriers (0 = never reclaim).
+	IdleReclaimAge sim.Cycles
 }
 
 func (tc TrialConfig) withDefaults() TrialConfig {
@@ -72,8 +82,11 @@ func RunTrial(tc TrialConfig) (*Result, error) {
 			Kernel:    kernel.Config{Quantum: 2000},
 		},
 		NIC: nic.Config{
-			NIPTPages: plan.NIPTEntries(),
-			PIOWindow: true,
+			NIPTPages:        plan.NIPTEntries(),
+			PIOWindow:        true,
+			NIPTCapacity:     tc.NIPTCapacity,
+			NIPTRefillJitter: tc.NIPTRefillJitter,
+			NIPTSeed:         tc.Seed,
 			// Reliable delivery is always armed: a serving system that
 			// silently loses messages has no meaningful SLO. The base
 			// retransmit timeout sits far above the saturated ACK RTT
@@ -81,7 +94,10 @@ func RunTrial(tc TrialConfig) (*Result, error) {
 			// wire time ahead of an ACK) so a clean wire never resends
 			// spuriously — loss recovery then shows up where a serving
 			// system feels it, in the sojourn tail.
-			Reliability: nic.ReliabilityConfig{Enabled: true, RetxTimeout: 100_000},
+			Reliability: nic.ReliabilityConfig{
+				Enabled: true, RetxTimeout: 100_000,
+				IdleReclaimAge: tc.IdleReclaimAge,
+			},
 		},
 		Window:          tc.Window,
 		Workers:         tc.Workers,

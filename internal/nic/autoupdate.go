@@ -81,6 +81,8 @@ func (n *Interface) FlushAutoUpdate() {
 		au.flushEv = nil
 	}
 	e := n.nipt[au.entry]
+	entry := au.entry
+	startOff := au.startOff
 	data := make([]byte, len(au.data))
 	copy(data, au.data)
 	au.active = false
@@ -89,7 +91,20 @@ func (n *Interface) FlushAutoUpdate() {
 		n.stats.AutoDrops++
 		return
 	}
-	if err := n.launch(e, au.startOff, data); err != nil {
+	if delay := n.lookupNIPT(entry, false); delay > 0 {
+		// Bounded NIPT cache miss: the burst launches when the entry
+		// refill lands (the snooping front of the board is already free
+		// to start the next burst).
+		n.clock.ScheduleAfter(delay, "nipt-refill-launch", func() {
+			if err := n.launch(e, startOff, data); err != nil {
+				n.stats.AutoDrops++
+				return
+			}
+			n.stats.AutoPackets++
+		})
+		return
+	}
+	if err := n.launch(e, startOff, data); err != nil {
 		n.stats.AutoDrops++
 		return
 	}

@@ -63,6 +63,20 @@ type Stats struct {
 	DeliveryFailures uint64 // links declared broken after the retry cap
 	FailedPackets    uint64 // packets abandoned by broken links
 	FailedBytes      uint64
+
+	// NIPT cache counters (see niptcache.go). Hits+Misses == Lookups
+	// always; with capacity 0 every lookup is a hit (the whole table is
+	// on the board, the seed behavior).
+	NIPTLookups      uint64
+	NIPTHits         uint64
+	NIPTMisses       uint64
+	NIPTEvictions    uint64
+	NIPTRefillCycles uint64 // total simulated cycles spent on miss refills
+
+	// Reliability-state reclamation counters (see reclaim.go).
+	SenderReclaims   uint64 // idle per-destination send state returned to the pool
+	ReceiverReclaims uint64 // idle per-source receive state returned to the pool
+	Resurrections    uint64 // reclaimed destinations re-established by new traffic
 }
 
 // Interface is one node's SHRIMP network interface board.
@@ -82,7 +96,8 @@ type Interface struct {
 	iobus  *bus.Bus
 	net    *interconnect.Backplane
 
-	nipt []NIPTEntry
+	nipt  []NIPTEntry // host-memory backing table (always authoritative)
+	cache *niptCache  // nil = unbounded on-NIC table (seed behavior)
 
 	pioPages uint32 // PIO window pages appended after the NIPT pages
 	pio      pioState
@@ -107,6 +122,18 @@ type nicMetrics struct {
 	niptLookups *telemetry.Counter
 	recvDrops   *telemetry.Counter
 	pktBytes    *telemetry.Histogram
+
+	// NIPT cache instruments.
+	niptHits         *telemetry.Counter
+	niptMisses       *telemetry.Counter
+	niptEvictions    *telemetry.Counter
+	niptRefillCycles *telemetry.Counter
+
+	// Reliability-state pool instruments (see reclaim.go).
+	relReclaims  *telemetry.Counter
+	relSenders   *telemetry.Gauge
+	relReceivers *telemetry.Gauge
+	relPoolFree  *telemetry.Gauge
 
 	// Reliability-layer instruments.
 	retransmits      *telemetry.Counter
@@ -142,6 +169,20 @@ type Config struct {
 	// PIOWindow enables the memory-mapped FIFO mode with one register
 	// page after the NIPT pages.
 	PIOWindow bool
+	// NIPTCapacity bounds the on-NIC resident NIPT entries; the full
+	// table lives in a host-memory backing store and data-path lookups
+	// that miss pay a refill cost (niptcache.go). 0 = unbounded: the
+	// whole table fits on the board, the original SHRIMP assumption.
+	NIPTCapacity int
+	// NIPTRefill is the per-miss refill cost; 0 means the default
+	// (niptRefillDefault). Ignored when NIPTCapacity is 0.
+	NIPTRefill sim.Cycles
+	// NIPTRefillJitter adds a seeded 0..J-1 cycle draw to each refill,
+	// modeling host-memory contention. 0 = fixed cost.
+	NIPTRefillJitter sim.Cycles
+	// NIPTSeed seeds the refill-jitter stream (mixed with the node ID
+	// so boards draw independently).
+	NIPTSeed uint64
 	// Reliability enables the reliable-delivery sublayer (reliable.go);
 	// required when the backplane carries a fault plan.
 	Reliability ReliabilityConfig
@@ -168,6 +209,19 @@ func New(nodeID int, clock *sim.Clock, costs *sim.CostModel, ram *mem.Physical,
 	}
 	if cfg.PIOWindow {
 		nic.pioPages = 1
+	}
+	if cfg.NIPTCapacity > 0 {
+		refill := cfg.NIPTRefill
+		if refill == 0 {
+			refill = niptRefillDefault
+		}
+		nic.cache = &niptCache{
+			cap:    cfg.NIPTCapacity,
+			lines:  make(map[uint32]niptLine, cfg.NIPTCapacity),
+			refill: refill,
+			jitter: cfg.NIPTRefillJitter,
+			rng:    sim.NewRNG(cfg.NIPTSeed ^ uint64(nodeID+1)*0x9E3779B97F4A7C15),
+		}
 	}
 	if cfg.Reliability.Enabled {
 		nic.rel = newReliability(cfg.Reliability)
@@ -197,6 +251,16 @@ func (n *Interface) SetMetrics(s *telemetry.Scope) {
 		recvDrops:   s.Counter("nic_recv_drops"),
 		pktBytes:    s.Histogram("nic_packet_bytes"),
 
+		niptHits:         s.Counter("nipt_hits"),
+		niptMisses:       s.Counter("nipt_misses"),
+		niptEvictions:    s.Counter("nipt_evictions"),
+		niptRefillCycles: s.Counter("nipt_refill_cycles"),
+
+		relReclaims:  s.Counter("nic_rel_reclaims"),
+		relSenders:   s.Gauge("nic_rel_senders_active"),
+		relReceivers: s.Gauge("nic_rel_receivers_active"),
+		relPoolFree:  s.Gauge("nic_rel_pool_free"),
+
 		retransmits:      s.Counter("nic_retransmits"),
 		acksSent:         s.Counter("nic_acks_sent"),
 		acksRecv:         s.Counter("nic_acks_recv"),
@@ -210,12 +274,22 @@ func (n *Interface) SetMetrics(s *telemetry.Scope) {
 }
 
 // SetNIPT installs an entry. Index range is checked; the kernel owns
-// the policy of which process may install what.
+// the policy of which process may install what. With a bounded cache,
+// installing a valid entry write-allocates (installs are warm — the
+// board just walked the host table to write it), and invalidating one
+// drops its residency.
 func (n *Interface) SetNIPT(index uint32, e NIPTEntry) error {
 	if index >= uint32(len(n.nipt)) {
 		return fmt.Errorf("nic: NIPT index %d out of range (%d entries)", index, len(n.nipt))
 	}
 	n.nipt[index] = e
+	if n.cache != nil {
+		if e.Valid {
+			n.installLine(index)
+		} else {
+			n.invalidateLine(index)
+		}
+	}
 	return nil
 }
 
@@ -278,15 +352,22 @@ func (n *Interface) CheckTransfer(da device.DevAddr, nbytes int, toDevice bool) 
 }
 
 // TransferLatency implements device.Device: NIPT lookup + header
-// assembly + FIFO/launch overhead per packet.
-func (n *Interface) TransferLatency(device.DevAddr, int) sim.Cycles {
+// assembly + FIFO/launch overhead per packet. With a bounded cache a
+// miss adds the host-memory refill cost, and the entry is pinned for
+// the duration of the transfer (released by the completion Write).
+func (n *Interface) TransferLatency(da device.DevAddr, _ int) sim.Cycles {
 	n.m.niptLookups.Inc()
-	return n.costs.NIPTLookup + n.costs.PacketHeader + n.costs.PacketPerPage
+	lat := n.costs.NIPTLookup + n.costs.PacketHeader + n.costs.PacketPerPage
+	if da.Page < uint32(len(n.nipt)) && n.nipt[da.Page].Valid {
+		lat += n.lookupNIPT(da.Page, true)
+	}
+	return lat
 }
 
 // Write implements device.Device: the DMA engine delivers the payload,
 // the board forms the packet and launches it into the backplane.
 func (n *Interface) Write(da device.DevAddr, data []byte, now sim.Cycles) error {
+	n.releasePin(da.Page)
 	e := n.nipt[da.Page]
 	if !e.Valid {
 		return fmt.Errorf("nic: write through invalid NIPT entry %d", da.Page)
@@ -415,7 +496,17 @@ func (n *Interface) PIOStore(da device.DevAddr, v uint32) {
 		data := make([]byte, len(n.pio.buf))
 		copy(data, n.pio.buf)
 		n.pio.buf = n.pio.buf[:0]
-		n.launch(n.nipt[idx], off, data)
+		e := n.nipt[idx]
+		if delay := n.lookupNIPT(idx, false); delay > 0 {
+			// The board is fetching the entry from the host table;
+			// the launch fires when the refill lands — asynchronous
+			// to the CPU, which already moved on.
+			n.clock.ScheduleAfter(delay, "nipt-refill-launch", func() {
+				n.launch(e, off, data)
+			})
+			return
+		}
+		n.launch(e, off, data)
 	}
 }
 

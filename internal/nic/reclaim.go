@@ -1,0 +1,111 @@
+package nic
+
+import (
+	"sort"
+)
+
+// Reliability-state reclamation: the second half of the bounded-NIC
+// story. Per-destination protocol state (epochs, sequence numbers,
+// retransmit buffers, credit windows) is exactly the per-connection
+// footprint OpenURMA shows dominating modern NICs, and under connection
+// churn — thousands of short-lived flows — it would otherwise grow
+// with the total number of peers ever spoken to. ReclaimIdle ages
+// quiescent links out into free pools, keeping only a compact epoch
+// memory per destination in host memory; new traffic to a reclaimed
+// destination resurrects the state from the pool with the epoch bumped
+// past the remembered one, so the remote end resynchronizes through the
+// protocol's ordinary higher-epoch path.
+//
+// Barrier safety: the cluster calls ReclaimIdle at the top of every
+// lockstep window, right after Backplane.Flush and before any worker
+// runs — the same publication point as every other cross-node control
+// action. Mid-window, workers only ever touch their own node's state,
+// so reclamation observes barrier-consistent quiescence, runs in
+// sorted-destination order, and is therefore bit-identical at any
+// worker count.
+
+// ReclaimIdle returns idle per-destination reliability state to the
+// board's free pools and reports how many links were reclaimed. A
+// sender is reclaimable only when fully quiescent — nothing pending or
+// unacked, no retransmit timer armed, no latched DeliveryError waiting
+// to be consumed — and idle past the configured age; a receiver only
+// when its resequencing buffer holds nothing. No-op unless the
+// reliability sublayer is on and IdleReclaimAge is set.
+func (n *Interface) ReclaimIdle() int {
+	if n.rel == nil {
+		return 0
+	}
+	defer n.publishReclaimGauges()
+	age := n.rel.cfg.IdleReclaimAge
+	if age <= 0 {
+		return 0
+	}
+	now := n.clock.Now()
+	reclaimed := 0
+	for _, dest := range sortedKeys(n.rel.senders) {
+		s := n.rel.senders[dest]
+		if !senderQuiescent(s) || now < s.lastActive+age {
+			continue
+		}
+		n.rel.senderMem[dest] = s.epoch
+		delete(n.rel.senders, dest)
+		n.rel.senderPool = append(n.rel.senderPool, s)
+		n.stats.SenderReclaims++
+		n.m.relReclaims.Inc()
+		reclaimed++
+	}
+	for _, src := range sortedKeys(n.rel.receivers) {
+		r := n.rel.receivers[src]
+		if len(r.reseq) != 0 || now < r.lastActive+age {
+			continue
+		}
+		n.rel.recvMem[src] = rxMemory{epoch: r.epoch, expected: r.expected}
+		delete(n.rel.receivers, src)
+		n.rel.recvPool = append(n.rel.recvPool, r)
+		n.stats.ReceiverReclaims++
+		n.m.relReclaims.Inc()
+		reclaimed++
+	}
+	return reclaimed
+}
+
+// senderQuiescent reports whether nothing at all is in flight or owed
+// on the link. A latched broken error blocks reclamation: it must be
+// consumed by the next Write, and reclaiming it would silently eat a
+// delivery failure.
+func senderQuiescent(s *relSender) bool {
+	return len(s.pending) == 0 && len(s.unacked) == 0 && s.timer == nil && s.broken == nil
+}
+
+func sortedKeys[V any](m map[int]V) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func (n *Interface) publishReclaimGauges() {
+	n.m.relSenders.Set(int64(len(n.rel.senders)))
+	n.m.relReceivers.Set(int64(len(n.rel.receivers)))
+	n.m.relPoolFree.Set(int64(len(n.rel.senderPool) + len(n.rel.recvPool)))
+}
+
+// RelActive returns the live per-destination sender and per-source
+// receiver state counts (tests and diagnostics).
+func (n *Interface) RelActive() (senders, receivers int) {
+	if n.rel == nil {
+		return 0, 0
+	}
+	return len(n.rel.senders), len(n.rel.receivers)
+}
+
+// RelPoolFree returns the number of reclaimed structs sitting in the
+// free pools (tests and diagnostics).
+func (n *Interface) RelPoolFree() int {
+	if n.rel == nil {
+		return 0
+	}
+	return len(n.rel.senderPool) + len(n.rel.recvPool)
+}

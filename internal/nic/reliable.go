@@ -56,6 +56,13 @@ type ReliabilityConfig struct {
 	// ReseqBuf is the receiver's resequencing capacity in packets
 	// (default = Window).
 	ReseqBuf int
+	// IdleReclaimAge ages out idle per-destination protocol state: a
+	// sender or receiver quiescent for this many cycles is returned to
+	// the board's free pool at the next barrier (ReclaimIdle in
+	// reclaim.go), keeping only a compact epoch memory in host memory.
+	// 0 disables reclamation (the seed behavior: state for every peer
+	// lives on the NIC forever).
+	IdleReclaimAge sim.Cycles
 }
 
 func (c ReliabilityConfig) withDefaults() ReliabilityConfig {
@@ -117,14 +124,26 @@ type relSender struct {
 	timer     *sim.Event
 	retries   int
 	broken    error // latched DeliveryError, consumed by the next Write
+	// lastActive is the last cycle this link moved (send, retransmit or
+	// ACK progress); ReclaimIdle ages quiescent links out against it.
+	lastActive sim.Cycles
 }
 
 // relReceiver is the per-source receive half.
 type relReceiver struct {
-	src      int
+	src        int
+	epoch      uint32
+	expected   uint64 // next in-order sequence wanted
+	reseq      map[uint64]*interconnect.Packet
+	lastActive sim.Cycles // last data arrival (see relSender.lastActive)
+}
+
+// rxMemory is the compact host-memory record kept for a reclaimed
+// receiver: enough to restore dedupe/ordering state exactly if the
+// source ever speaks again (see reclaim.go).
+type rxMemory struct {
 	epoch    uint32
-	expected uint64 // next in-order sequence wanted
-	reseq    map[uint64]*interconnect.Packet
+	expected uint64
 }
 
 // reliability bundles both halves for one board.
@@ -132,6 +151,14 @@ type reliability struct {
 	cfg       ReliabilityConfig
 	senders   map[int]*relSender
 	receivers map[int]*relReceiver
+
+	// Reclamation state (reclaim.go): epoch memories for reclaimed
+	// destinations, and free pools so churning flows reuse structs
+	// instead of growing the heap with the total flow count.
+	senderMem  map[int]uint32
+	recvMem    map[int]rxMemory
+	senderPool []*relSender
+	recvPool   []*relReceiver
 }
 
 func newReliability(cfg ReliabilityConfig) *reliability {
@@ -139,6 +166,8 @@ func newReliability(cfg ReliabilityConfig) *reliability {
 		cfg:       cfg.withDefaults(),
 		senders:   make(map[int]*relSender),
 		receivers: make(map[int]*relReceiver),
+		senderMem: make(map[int]uint32),
+		recvMem:   make(map[int]rxMemory),
 	}
 }
 
@@ -146,7 +175,28 @@ func (n *Interface) sender(dest int) *relSender {
 	if s, ok := n.rel.senders[dest]; ok {
 		return s
 	}
-	s := &relSender{dest: dest, nextSeq: 1, advWindow: n.rel.cfg.Window}
+	var s *relSender
+	if k := len(n.rel.senderPool); k > 0 {
+		s = n.rel.senderPool[k-1]
+		n.rel.senderPool = n.rel.senderPool[:k-1]
+		pending, unacked := s.pending[:0], s.unacked[:0]
+		*s = relSender{pending: pending, unacked: unacked}
+	} else {
+		s = &relSender{}
+	}
+	s.dest = dest
+	s.nextSeq = 1
+	s.advWindow = n.rel.cfg.Window
+	s.lastActive = n.clock.Now()
+	if mem, ok := n.rel.senderMem[dest]; ok {
+		// Resurrection: the reclaimed incarnation's epoch was kept in
+		// host memory; the new one starts one past it, so the receiver
+		// resynchronizes through its ordinary higher-epoch path exactly
+		// as after breakLink.
+		s.epoch = mem + 1
+		delete(n.rel.senderMem, dest)
+		n.stats.Resurrections++
+	}
 	n.rel.senders[dest] = s
 	return s
 }
@@ -155,7 +205,25 @@ func (n *Interface) receiver(src int) *relReceiver {
 	if r, ok := n.rel.receivers[src]; ok {
 		return r
 	}
-	r := &relReceiver{src: src, expected: 1, reseq: make(map[uint64]*interconnect.Packet)}
+	var r *relReceiver
+	if k := len(n.rel.recvPool); k > 0 {
+		r = n.rel.recvPool[k-1]
+		n.rel.recvPool = n.rel.recvPool[:k-1]
+	} else {
+		r = &relReceiver{reseq: make(map[uint64]*interconnect.Packet)}
+	}
+	r.src = src
+	r.epoch = 0
+	r.expected = 1
+	r.lastActive = n.clock.Now()
+	if mem, ok := n.rel.recvMem[src]; ok {
+		// Restore the dedupe horizon, so a stale duplicate of a packet
+		// delivered before the reclaim can never be delivered twice.
+		r.epoch = mem.epoch
+		r.expected = mem.expected
+		delete(n.rel.recvMem, src)
+		n.stats.Resurrections++
+	}
 	n.rel.receivers[src] = r
 	return r
 }
@@ -187,6 +255,7 @@ func packetCRC(p *interconnect.Packet) uint32 {
 // just failed.
 func (n *Interface) relSend(dest int, destAddr addr.PAddr, payload []byte) error {
 	s := n.sender(dest)
+	s.lastActive = n.clock.Now()
 	if err := s.broken; err != nil {
 		s.broken = nil // consumed; this epoch starts fresh on the next send
 		return err
@@ -236,6 +305,7 @@ func (n *Interface) transmitData(s *relSender, p *relPkt, retrans bool) {
 		Seq:      p.seq,
 		Retrans:  retrans,
 	}
+	s.lastActive = n.clock.Now()
 	pkt.CRC = packetCRC(pkt)
 	if !p.sent {
 		p.sent = true
@@ -337,6 +407,7 @@ func (n *Interface) handleAck(pkt *interconnect.Packet) {
 	n.stats.AcksReceived++
 	n.m.acksRecv.Inc()
 	s := n.sender(pkt.Src)
+	s.lastActive = n.clock.Now()
 	if pkt.Epoch != s.epoch {
 		return // stale incarnation
 	}
@@ -376,6 +447,7 @@ func (n *Interface) recvData(pkt *interconnect.Packet) {
 		return
 	}
 	r := n.receiver(pkt.Src)
+	r.lastActive = n.clock.Now()
 	if pkt.Epoch > r.epoch {
 		// The sender gave up and restarted; anything parked from the
 		// old incarnation can never complete a window.

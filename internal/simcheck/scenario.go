@@ -68,6 +68,21 @@ type ScenarioConfig struct {
 	ServeMessages    int
 	ServeFlows       int
 	ServeWindowPages int
+
+	// ServeChurn switches the serve driver to the connection-churn flow
+	// model: short-lived flows, one NIPT entry each, births and deaths
+	// on simulated time. Override-only, like the other Serve fields.
+	ServeChurn       bool
+	ServeActiveFlows int
+	ServeMsgsPerFlow int
+
+	// NIPTCapacity bounds the board's NIPT cache over the host-memory
+	// backing table (0 = unbounded); IdleReclaimAge ages idle
+	// reliability state into the free pools at barriers. Both are
+	// seed-drawn, after the lossy block, so earlier per-seed fields
+	// keep their values.
+	NIPTCapacity   int
+	IdleReclaimAge sim.Cycles
 }
 
 // randomConfig draws a scenario shape from the master RNG. Ranges are
@@ -116,6 +131,14 @@ func randomConfig(rng *sim.RNG) ScenarioConfig {
 			cfg.FlapPeriod = sim.Cycles(20_000 + rng.Intn(40_000))
 			cfg.FlapDown = sim.Cycles(2_000 + rng.Intn(4_000))
 		}
+	}
+	// Bounded-NIPT and reclamation draws also come last (same rule as
+	// the lossy block: new draws never move existing per-seed values).
+	if rng.Intn(3) == 0 {
+		cfg.NIPTCapacity = 1 + rng.Intn(31)
+	}
+	if cfg.Lossy && rng.Intn(2) == 0 {
+		cfg.IdleReclaimAge = sim.Cycles(20_000 + rng.Intn(60_000))
 	}
 	return cfg
 }
@@ -296,10 +319,13 @@ func buildScenario(seed uint64, opts Options) *scenario {
 	if opts.Override != nil {
 		opts.Override(&cfg)
 	}
+	var plan *loadgen.Plan
 	if cfg.Serve {
 		// Serve-mode floors and defaults (the fields are Override-set,
 		// never seed-drawn): open-loop traffic needs at least two nodes,
-		// and the NIPT must hold one window per destination per sender.
+		// and the NIPT must hold the plan's whole backing table — one
+		// window per destination per sender, or in churn mode one entry
+		// per flow, which is why the plan is built before the cluster.
 		if cfg.Nodes < 2 {
 			cfg.Nodes = 2
 		}
@@ -315,7 +341,24 @@ func buildScenario(seed uint64, opts Options) *scenario {
 		if cfg.ServeWindowPages == 0 {
 			cfg.ServeWindowPages = 2
 		}
-		if need := uint32(cfg.Nodes * cfg.ServeWindowPages); cfg.NIPTPages < need {
+		if cfg.ServeChurn && cfg.ServeActiveFlows == 0 {
+			cfg.ServeActiveFlows = 32
+		}
+		if cfg.ServeChurn && cfg.ServeMsgsPerFlow == 0 {
+			cfg.ServeMsgsPerFlow = 2
+		}
+		plan = loadgen.BuildPlan(loadgen.Config{
+			Nodes:       cfg.Nodes,
+			Seed:        seed ^ 0x10ad_9e4, // decorrelated from shape draws
+			Rate:        cfg.ServeRate,
+			Messages:    cfg.ServeMessages,
+			Flows:       cfg.ServeFlows,
+			WindowPages: cfg.ServeWindowPages,
+			Churn:       cfg.ServeChurn,
+			ActiveFlows: cfg.ServeActiveFlows,
+			MsgsPerFlow: cfg.ServeMsgsPerFlow,
+		})
+		if need := plan.NIPTEntries(); cfg.NIPTPages < need {
 			cfg.NIPTPages = need
 		}
 	}
@@ -332,9 +375,15 @@ func buildScenario(seed uint64, opts Options) *scenario {
 			Kernel: kernel.Config{Quantum: cfg.Quantum},
 		},
 		NIC: nic.Config{
-			NIPTPages:   cfg.NIPTPages,
-			PIOWindow:   true,
-			Reliability: nic.ReliabilityConfig{Enabled: cfg.Lossy},
+			NIPTPages:        cfg.NIPTPages,
+			PIOWindow:        true,
+			NIPTCapacity:     cfg.NIPTCapacity,
+			NIPTRefillJitter: 16,
+			NIPTSeed:         seed,
+			Reliability: nic.ReliabilityConfig{
+				Enabled:        cfg.Lossy,
+				IdleReclaimAge: cfg.IdleReclaimAge,
+			},
 		},
 		Window:          cfg.Window,
 		Workers:         opts.Workers,
@@ -373,14 +422,7 @@ func buildScenario(seed uint64, opts Options) *scenario {
 		// publishControl, exactly like the randomized scenario's receiver
 		// does. No kill plan: killing a pacer or server would strand its
 		// queues and turn the liveness bound into a false failure.
-		s.serve = loadgen.NewDriver(loadgen.BuildPlan(loadgen.Config{
-			Nodes:       cfg.Nodes,
-			Seed:        seed ^ 0x10ad_9e4, // decorrelated from shape draws
-			Rate:        cfg.ServeRate,
-			Messages:    cfg.ServeMessages,
-			Flows:       cfg.ServeFlows,
-			WindowPages: cfg.ServeWindowPages,
-		}), s.cl, loadgen.DriverOptions{Metrics: opts.Metrics})
+		s.serve = loadgen.NewDriver(plan, s.cl, loadgen.DriverOptions{Metrics: opts.Metrics})
 		return s
 	}
 
@@ -528,6 +570,15 @@ func (s *scenario) serveVerify() {
 	}
 	if !s.cfg.FaultInject && !s.cfg.Lossy && res.Failed != 0 {
 		s.fail(0, "serve-accounting", fmt.Sprintf("%d failures on a clean machine", res.Failed))
+	}
+	if res.NIPTHits+res.NIPTMisses != res.NIPTLookups {
+		s.fail(0, "serve-accounting",
+			fmt.Sprintf("nipt cache books: %d hits + %d misses != %d lookups",
+				res.NIPTHits, res.NIPTMisses, res.NIPTLookups))
+	}
+	if s.cfg.NIPTCapacity == 0 && res.NIPTMisses != 0 {
+		s.fail(0, "serve-accounting",
+			fmt.Sprintf("%d misses on an unbounded NIPT", res.NIPTMisses))
 	}
 }
 

@@ -242,12 +242,78 @@ func TestSimCheckServeLossyWorkerEquivalence(t *testing.T) {
 	}
 }
 
+// churnOverride switches a seed's scenario to connection-churn serving:
+// short-lived flows with one NIPT entry each, a bounded NIPT cache
+// (forced on seeds that drew none, so every run has eviction pressure),
+// and idle-state reclamation on lossy seeds where the reliability layer
+// is armed.
+func churnOverride(cfg *ScenarioConfig) {
+	cfg.Serve = true
+	cfg.ServeChurn = true
+	if cfg.NIPTCapacity == 0 {
+		cfg.NIPTCapacity = 8
+	}
+	if cfg.Lossy && cfg.IdleReclaimAge == 0 {
+		cfg.IdleReclaimAge = 40_000
+	}
+}
+
+// TestSimCheckChurnSweep runs the invariant auditor under connection
+// churn: flow birth/death on simulated time, thousands of short-lived
+// NIPT entries chased by a small cache, over whatever machine regime
+// each seed draws — with I1–I4, conservation and the serve books
+// checked exactly as in the fixed-flow sweep.
+func TestSimCheckChurnSweep(t *testing.T) {
+	seeds := 256
+	if testing.Short() {
+		seeds = 64
+	}
+	opts := Options{Override: churnOverride}
+	for _, rep := range Sweep(1, seeds, runtime.GOMAXPROCS(0), opts) {
+		if rep.Failed() {
+			t.Fatalf("\n%s", rep.String())
+		}
+		if !rep.Cfg.ServeChurn || rep.Cfg.NIPTCapacity == 0 {
+			t.Fatalf("seed %d: churn override not applied: %+v", rep.Seed, rep.Cfg)
+		}
+	}
+}
+
+// TestSimCheckChurnWorkerEquivalence: churn composes flow birth/death,
+// cache refills on simulated time and barrier-published reclamation —
+// the run must still be bit-exact between one worker and eight.
+func TestSimCheckChurnWorkerEquivalence(t *testing.T) {
+	seeds := uint64(12)
+	if testing.Short() {
+		seeds = 4
+	}
+	for seed := uint64(1); seed <= seeds; seed++ {
+		serial := Run(seed, Options{Override: churnOverride})
+		if serial.Failed() {
+			t.Fatalf("seed %d failed serially:\n%s", seed, serial.String())
+		}
+		par := Run(seed, Options{Override: churnOverride, Workers: 8})
+		if serial.Fingerprint != par.Fingerprint {
+			t.Fatalf("seed %d: workers=8 fingerprint %016x != workers=1 %016x",
+				seed, par.Fingerprint, serial.Fingerprint)
+		}
+		if len(serial.Violations) != len(par.Violations) {
+			t.Fatalf("seed %d: violation counts differ across workers: %d vs %d",
+				seed, len(serial.Violations), len(par.Violations))
+		}
+		if fmt.Sprint(serial.TraceSummaries) != fmt.Sprint(par.TraceSummaries) {
+			t.Fatalf("seed %d: trace summaries differ across workers:\n%v\nvs\n%v",
+				seed, serial.TraceSummaries, par.TraceSummaries)
+		}
+	}
+}
+
 // TestSimCheckCoversMechanisms checks the sweep actually exercises the
 // machinery the invariants guard: across the -short seed range the
 // scenarios must include multi-node clusters, queued controllers, fault
 // injection, cleaners and kills.
 func TestSimCheckCoversMechanisms(t *testing.T) {
-	var multi, queued, faulty, cleaner, kills, lossy, flappy bool
+	var multi, queued, faulty, cleaner, kills, lossy, flappy, capped, reclaim bool
 	for seed := uint64(1); seed <= 64; seed++ {
 		cfg := deriveConfig(seed)
 		multi = multi || cfg.Nodes > 1
@@ -257,10 +323,13 @@ func TestSimCheckCoversMechanisms(t *testing.T) {
 		kills = kills || cfg.Kills > 0
 		lossy = lossy || cfg.Lossy
 		flappy = flappy || cfg.FlapPeriod > 0
+		capped = capped || cfg.NIPTCapacity > 0
+		reclaim = reclaim || cfg.IdleReclaimAge > 0
 	}
 	for name, ok := range map[string]bool{
 		"multi-node": multi, "queued": queued, "fault-inject": faulty,
 		"cleaner": cleaner, "kills": kills, "lossy-wire": lossy, "link-flap": flappy,
+		"bounded-nipt": capped, "idle-reclaim": reclaim,
 	} {
 		if !ok {
 			t.Errorf("seed sweep never produced a %s scenario", name)
