@@ -2,7 +2,7 @@ GO ?= go
 GOFMT ?= gofmt
 FUZZTIME ?= 10s
 
-.PHONY: all build vet fmt test race check bench experiments faults lossy serve churn fuzz simcheck cover profile
+.PHONY: all build vet fmt test race check bench experiments faults lossy serve churn chaos fuzz simcheck cover profile
 
 all: check
 
@@ -63,6 +63,13 @@ serve:
 # proof as serve.
 churn:
 	$(GO) run ./cmd/shrimpsim -scenario churn
+
+# chaos runs the crash–restart trial: a seeded node crash schedule
+# against the open-loop serving workload, with the availability readout
+# (downtime, dip depth, time-to-recover) and the same bit-exactness
+# proof as serve.
+chaos:
+	$(GO) run ./cmd/shrimpsim -scenario chaos
 
 # fuzz gives each native fuzz target a short budget (override with
 # FUZZTIME=5m for a longer soak). Each target must be fuzzed alone:

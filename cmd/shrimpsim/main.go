@@ -15,8 +15,10 @@
 //	shrimpsim -scenario serve -rate 1000 -nodes 4
 //	shrimpsim -scenario churn       # short-lived flows vs a bounded NIPT cache
 //	shrimpsim -scenario churn -capacity 16
+//	shrimpsim -scenario chaos       # node crash–restart schedule vs availability
 //	shrimpsim -scenario fuzz        # randomized run under the invariant auditor
 //	shrimpsim -scenario fuzz -seed 7 -count 100
+//	shrimpsim -list                 # scenario index with one-line descriptions
 //	shrimpsim -nodes 8 -size 16384  # scenario parameters
 //	shrimpsim -workers 8            # host goroutines for cluster windows and
 //	                                # seed/rate sweeps (results are identical
@@ -57,9 +59,27 @@ import (
 	"shrimp/internal/workload"
 )
 
+// scenarioIndex is the -list readout: every scenario in presentation
+// order with the one-liner a new user needs to pick one.
+var scenarioIndex = []struct{ name, desc string }{
+	{"send", "two-instruction UDMA send on one node"},
+	{"cluster", "N-node deliberate-update ring exchange"},
+	{"share", "untrusting processes share one device (I1 protection)"},
+	{"paging", "UDMA under memory pressure (I2/I4 guards)"},
+	{"autoupdate", "plain stores propagate to a remote page, no initiation"},
+	{"faults", "injected device faults vs per-transfer recovery"},
+	{"lossy", "lossy wire vs the reliable delivery sublayer"},
+	{"contention", "queued senders: latency distributions under load"},
+	{"serve", "open-loop load at a fixed offered rate, SLO readout"},
+	{"churn", "short-lived flows vs a bounded NIPT cache"},
+	{"chaos", "seeded node crash–restart schedule vs availability SLOs"},
+	{"fuzz", "randomized runs under the simcheck invariant auditor"},
+}
+
 func main() {
 	var (
-		scenario   = flag.String("scenario", "send", "send | cluster | share | paging | autoupdate | faults | lossy | contention | serve | churn | fuzz")
+		scenario   = flag.String("scenario", "send", "send | cluster | share | paging | autoupdate | faults | lossy | contention | serve | churn | chaos | fuzz")
+		list       = flag.Bool("list", false, "list the scenarios with one-line descriptions and exit")
 		nodes      = flag.Int("nodes", 4, "cluster scenario: node count")
 		size       = flag.Int("size", 4096, "message size in bytes")
 		senders    = flag.Int("senders", 4, "share/contention scenarios: processes")
@@ -76,6 +96,13 @@ func main() {
 		memprofile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
 	flag.Parse()
+	if *list {
+		fmt.Println("scenarios:")
+		for _, sc := range scenarioIndex {
+			fmt.Printf("  %-12s %s\n", sc.name, sc.desc)
+		}
+		return
+	}
 	if *workers < 1 {
 		*workers = 1
 	}
@@ -134,6 +161,8 @@ func main() {
 		err = scenarioServe(*seed, *nodes, *rate, o)
 	case "churn":
 		err = scenarioChurn(*seed, *nodes, *rate, *capacity, o)
+	case "chaos":
+		err = scenarioChaos(*seed, *nodes, *rate, o)
 	case "fuzz":
 		err = scenarioFuzz(*seed, *count, *workers)
 	default:
@@ -637,6 +666,71 @@ func scenarioChurn(seed uint64, nodes int, rate float64, capacity int, o *obs) e
 	if capacity > 0 && res.NIPTMisses == 0 {
 		fmt.Println("the cache held the whole working set: no refills were ever paid")
 	}
+
+	again, err := run(1, nil)
+	if err != nil {
+		return err
+	}
+	if res.Fingerprint() != again.Fingerprint() {
+		return fmt.Errorf("same seed produced different trials: %016x vs %016x",
+			res.Fingerprint(), again.Fingerprint())
+	}
+	wide, err := run(4, nil)
+	if err != nil {
+		return err
+	}
+	if res.Fingerprint() != wide.Fingerprint() {
+		return fmt.Errorf("workers 1 and 4 diverge: %016x vs %016x",
+			res.Fingerprint(), wide.Fingerprint())
+	}
+	fmt.Printf("\nfingerprint %016x reproduced exactly: serial rerun and a 4-worker run\n", res.Fingerprint())
+	return nil
+}
+
+// scenarioChaos runs the open-loop serving trial under a seeded node
+// crash–restart schedule (cluster.CrashPlan): whole nodes power off at
+// lockstep barriers, peers fail fast to a typed DeliveryError, and the
+// rebooted node's serving complement respawns from the host-memory
+// progress state. The availability readout — crashes, downtime, dip
+// depth, time-to-recover — prints with the per-class SLO table, then
+// the trial reruns serially and on four workers and all fingerprints
+// must match: chaos included, the trial is a pure function of its seed.
+func scenarioChaos(seed uint64, nodes int, rate float64, o *obs) error {
+	if seed == experiments.FaultSeed {
+		seed = experiments.ChaosSeed // remap the faults-scenario default
+	}
+	if nodes < 2 {
+		nodes = 2
+	}
+	costs := machine.SHRIMP1996()
+	o.setCosts(costs)
+	run := func(workers int, reg *telemetry.Registry) (*loadgen.Result, error) {
+		return loadgen.RunTrial(loadgen.TrialConfig{
+			Config:        loadgen.Config{Nodes: nodes, Seed: seed, Rate: rate},
+			Workers:       workers,
+			RetxTimeout:   6_000,
+			RelMaxRetries: 3,
+			Crash: cluster.CrashPlan{Seed: seed, MTBF: 400_000,
+				MTTR: 150_000, FirstAt: 150_000, MaxCrashes: 2},
+			Metrics: reg,
+		})
+	}
+	res, err := run(1, o.registry())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# crash–restart chaos (seed %#x): %d nodes, %d messages under a seeded crash schedule\n",
+		seed, nodes, res.Messages)
+	res.WriteTable(os.Stdout, costs)
+	if res.Crashes == 0 {
+		return fmt.Errorf("the crash schedule never fired inside the trial's span; offer more load (-rate, default messages) or rerun with another -seed")
+	}
+	if res.Delivered+res.Failed != res.Messages {
+		return fmt.Errorf("accounting across crashes: %d delivered + %d failed != %d offered",
+			res.Delivered, res.Failed, res.Messages)
+	}
+	fmt.Printf("crash ledgers: %d B abandoned on crashed senders, %d B crash-dropped on the wire/boards\n",
+		res.CrashAbandonedBytes, res.CrashDroppedBytes)
 
 	again, err := run(1, nil)
 	if err != nil {

@@ -83,6 +83,14 @@ type Config struct {
 	// or packets will be silently lost.
 	Fault interconnect.FaultPlan
 
+	// Crash is the node crash–restart schedule (crashplan.go): seeded
+	// whole-node failures applied at lockstep barriers, each wiping the
+	// node's NIC and kernel state for MTTR cycles before a reboot.
+	// Enable NIC.Reliability alongside it or in-flight packets toward a
+	// down node are silently lost; with it, peers observe the crash as
+	// a retry-cap DeliveryError.
+	Crash CrashPlan
+
 	// Metrics attaches a telemetry registry to every node (bus, DMA
 	// engine, UDMA controller, kernel, NIC), each under its node=<id>
 	// label. Nil leaves all instruments as free no-ops. Telemetry is a
@@ -121,6 +129,9 @@ type Cluster struct {
 	// the caller asked for; direct Step callers get sim.Forever (the
 	// extension is still bounded by the other clocks plus one flight).
 	stepCap sim.Cycles
+
+	// crash is the running crash–restart schedule (nil = no plan).
+	crash *crashState
 
 	rounds uint64 // barrier rounds executed (Step calls)
 }
@@ -173,6 +184,9 @@ func New(cfg Config) *Cluster {
 	c.Backplane.SetDeferred(true)
 	if cfg.Fault.Enabled() {
 		c.Backplane.SetFaultPlan(cfg.Fault)
+	}
+	if cfg.Crash.Enabled() {
+		c.crash = newCrashState(cfg.Crash, cfg.Nodes)
 	}
 	for i := 0; i < cfg.Nodes; i++ {
 		mcfg := cfg.Machine
@@ -284,6 +298,39 @@ func (c *Cluster) NextRunnable(after sim.Cycles) sim.Cycles {
 			}
 		}
 	}
+	// A crashed node's scheduled reboot is a future runnable too: without
+	// it, a chaos schedule that downs every node at one barrier (all
+	// processes killed, no events anywhere) would read as a deadlock and
+	// the reboot barrier would never be reached. Exited kernels coast
+	// their clocks to the horizon, so skipping the horizon to downUntil
+	// is enough to carry simulated time across a whole-cluster outage.
+	if at := c.NextReboot(); at < next {
+		next = at
+	}
+	// A reboot fired at the last barrier but not yet observed by any
+	// driver publish round is runnable immediately: the driver's next
+	// barrier respawns the node's work, so there is always a "next thing"
+	// one window out even when no event is scheduled anywhere.
+	if c.crash != nil && c.crash.freshBoot > 0 {
+		if at := after + 1; at < next {
+			next = at
+		}
+	}
+	return next
+}
+
+// NextReboot returns the earliest pending reboot time across crashed
+// nodes, or sim.Forever when no node is down (or no plan is armed).
+func (c *Cluster) NextReboot() sim.Cycles {
+	next := sim.Forever
+	if c.crash == nil {
+		return next
+	}
+	for _, du := range c.crash.downUntil {
+		if du != 0 && du < next {
+			next = du
+		}
+	}
 	return next
 }
 
@@ -311,6 +358,12 @@ func (c *Cluster) Rounds() uint64 { return c.rounds }
 func (c *Cluster) Step(horizon sim.Cycles) (progress bool, err error) {
 	c.rounds++
 	c.Backplane.Flush()
+	// Crash and reboot nodes at the barrier, after the flush (so mail
+	// already launched toward the victim still merges onto its clock,
+	// where the down guard swallows it into the crash ledger) and before
+	// any worker runs — the schedule is a pure function of simulation
+	// state, bit-identical at any worker count (crashplan.go).
+	c.applyCrashReboot()
 	// Reclaim idle reliability state at the barrier, after the flush and
 	// before any worker runs: reclamation then observes barrier-consistent
 	// quiescence on every board, keeping it — like every other cross-node
@@ -472,8 +525,20 @@ func (c *Cluster) MinNow() sim.Cycles {
 	return m
 }
 
-// AllIdle reports whether every process on every node has exited.
+// AllIdle reports whether every process on every node has exited. A
+// crashed node awaiting its reboot is never idle — its driver will
+// respawn work once the MTTR expires, so draining before the reboot
+// barrier would end the run with offered work still unaccounted. The
+// same holds for one barrier after the reboot fires (freshBoot): the
+// driver observes down→up at its next publish round, which must happen
+// before the run is allowed to drain.
 func (c *Cluster) AllIdle() bool {
+	if c.NextReboot() != sim.Forever {
+		return false
+	}
+	if c.crash != nil && c.crash.freshBoot > 0 {
+		return false
+	}
 	for _, n := range c.Nodes {
 		if !kernelIdle(n) {
 			return false
@@ -539,6 +604,20 @@ func (c *Cluster) PublishRollup() {
 	root.Gauge("cluster_wire_drops").Set(int64(fs.Drops + fs.FlapDrops))
 	root.Gauge("cluster_wire_dups").Set(int64(fs.Dups))
 	root.Gauge("cluster_wire_corrupts").Set(int64(fs.Corrupts))
+	if c.crash != nil {
+		var abandoned, crashDropped uint64
+		for i := range c.NICs {
+			s := c.NICs[i].Stats()
+			abandoned += s.CrashAbandonedBytes
+			crashDropped += s.CrashDropBytes
+		}
+		cs := c.crash.stats
+		root.Gauge("cluster_crashes").Set(int64(cs.Crashes))
+		root.Gauge("cluster_downtime_cycles").Set(int64(cs.DowntimeCycles))
+		root.Gauge("cluster_recovery_lag_cycles").Set(int64(cs.RecoveryLagCycles))
+		root.Gauge("cluster_crash_abandoned_bytes").Set(int64(abandoned))
+		root.Gauge("cluster_crash_dropped_bytes").Set(int64(crashDropped + fs.CrashDroppedDataBytes))
+	}
 }
 
 // AnyPending reports whether any node has scheduled events outstanding

@@ -82,6 +82,7 @@ var registry = map[string]struct {
 	"e14": {"Extension: parallel simulation — serial vs parallel wall-clock speedup", RunParallelSpeedup},
 	"e15": {"Extension: open-loop serving — offered-rate sweep and SLO readout", RunServe},
 	"e16": {"Extension: connection churn — goodput and tails vs NIPT cache capacity", RunChurn},
+	"e17": {"Extension: crash–restart chaos — availability dips and time-to-recover", RunChaos},
 }
 
 // sweepWorkers is how many host goroutines the rate/seed sweeps inside

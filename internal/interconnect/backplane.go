@@ -153,6 +153,12 @@ type Backplane struct {
 
 	deferred bool
 
+	// down marks crashed nodes. It is written only by SetNodeDown at
+	// lockstep barriers (no worker mid-window), so plain reads from
+	// Send on worker goroutines are ordered by the barrier and the
+	// drop decision is identical at every worker count.
+	down []bool
+
 	plan    FaultPlan
 	tracers map[int]*trace.Tracer // per-sender wire anomaly tracers
 
@@ -203,6 +209,22 @@ func (b *Backplane) SetFaultPlan(plan FaultPlan) {
 
 // Plan returns the installed fault plan.
 func (b *Backplane) Plan() FaultPlan { return b.plan }
+
+// SetNodeDown marks a node crashed (or rebooted): while a node is down,
+// every packet launched to or from it is dropped deterministically —
+// its links are dead, not lossy. Call only at a lockstep barrier
+// (cluster.CrashPlan does), never while a window is running.
+func (b *Backplane) SetNodeDown(node int, down bool) {
+	for node >= len(b.down) {
+		b.down = append(b.down, false)
+	}
+	b.down[node] = down
+}
+
+// NodeDown reports whether a node is currently marked crashed.
+func (b *Backplane) NodeDown(node int) bool {
+	return node < len(b.down) && b.down[node]
+}
 
 // SetTracer attaches a tracer recording wire anomalies (drops, dups,
 // corruptions, delays, flaps) for packets *sent by* the given node, on
@@ -320,6 +342,20 @@ func (b *Backplane) Send(pkt *Packet) sim.Cycles {
 	if pkt.Retrans {
 		ob.retransPkts++
 		ob.retransBytes += uint64(len(pkt.Payload))
+	}
+
+	// Links to or from a crashed node are dead: the packet occupied the
+	// outgoing FIFO (launch accounting above stands) and then vanishes.
+	// The check sits before the fault-plan draw so an empty crash plan
+	// perturbs no RNG stream — a no-crash run is bit-identical.
+	if b.NodeDown(pkt.Src) || b.NodeDown(pkt.Dst) {
+		ob.fstats.CrashDrops++
+		if pkt.Kind == PktData {
+			ob.fstats.CrashDroppedDataPackets++
+			ob.fstats.CrashDroppedDataBytes += uint64(len(pkt.Payload))
+		}
+		b.tracers[pkt.Src].Record(trace.EvWireDrop, uint64(pkt.Dst), pkt.Seq, "node down")
+		return ob.injectFree
 	}
 
 	out := b.perturb(ob, pkt, start)

@@ -70,6 +70,15 @@ type FaultStats struct {
 	DroppedDataPackets uint64 // data packets that never arrived (drop + flap)
 	DroppedDataBytes   uint64
 	DupDataBytes       uint64 // payload bytes of fabric-created data copies
+
+	// Crash drops are not the plan's doing: they count packets launched
+	// while either endpoint node was crashed (cluster.CrashPlan marks
+	// nodes down at lockstep barriers). Every link to a down node drops
+	// deterministically, and the data-byte ledger keeps the simcheck
+	// wire-conservation audit balanced across the crash boundary.
+	CrashDrops              uint64
+	CrashDroppedDataPackets uint64
+	CrashDroppedDataBytes   uint64
 }
 
 // add folds another shard's counts in (used to sum per-sender shards).
@@ -82,6 +91,9 @@ func (s *FaultStats) add(o FaultStats) {
 	s.DroppedDataPackets += o.DroppedDataPackets
 	s.DroppedDataBytes += o.DroppedDataBytes
 	s.DupDataBytes += o.DupDataBytes
+	s.CrashDrops += o.CrashDrops
+	s.CrashDroppedDataPackets += o.CrashDroppedDataPackets
+	s.CrashDroppedDataBytes += o.CrashDroppedDataBytes
 }
 
 // linkFault is the per-directed-link fault state: one RNG stream and a

@@ -1,0 +1,35 @@
+package kernel
+
+// Node crash–restart support: the operating-system half of
+// cluster.CrashPlan (the board half is nic.Crash/Reboot).
+//
+// A crash is modeled as the most violent machine check possible: the
+// in-flight transfer aborts, the UDMA queue empties, and — unlike an
+// ordinary MachineCheck — every process is killed. The kill is marked
+// here (at the lockstep barrier, before any worker runs) but each
+// process unwinds on its own node's clock during subsequent windows,
+// through the ordinary killedPanic path: deferred cleanups run, frames
+// release (UDMA-referenced ones park), exactly as for Kill. That keeps
+// the teardown deterministic at any worker count: the only cross-node
+// action is the barrier-published mark.
+
+// Crash responds to a whole-node power loss: machine-check teardown of
+// the DMA hardware state plus a kill of every live process. It returns
+// the number of transfers the termination discarded.
+func (k *Kernel) Crash(reason error) int {
+	n := k.MachineCheck(reason)
+	for _, p := range k.procs {
+		k.Kill(p)
+	}
+	return n
+}
+
+// Reboot brings the node's OS back after a crash. The simulated kernel
+// keeps no volatile state a crash must rebuild — address spaces died
+// with their processes, and the frame table is authoritative in host
+// memory — so the reboot only sweeps parked frames whose hardware
+// references the Terminate dropped. New processes may be spawned
+// immediately (the serving driver respawns its workers here).
+func (k *Kernel) Reboot() {
+	k.drainParked()
+}

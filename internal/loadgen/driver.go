@@ -47,10 +47,17 @@ type nodeState struct {
 
 	pendingPfns []uint32 // receiver's export awaiting barrier publication
 
+	// nextArr is the pacer's progress through the node's arrival
+	// schedule. It lives here, not in the pacer's stack, so the pacer a
+	// crash kills can be respawned to resume exactly where it stopped —
+	// the open-loop clients keep offering load to a crashed node.
+	nextArr int
+
 	arrivals       [NumClasses]int
 	delivered      [NumClasses]int
 	failed         [NumClasses]int
 	deliveredBytes [NumClasses]uint64
+	downDelivered  [NumClasses]int // deliveries whose arrival fell in a crash span
 	orderViol      int
 	retries        uint64 // udmalib-level initiation retries + resends
 	lastDone       sim.Cycles
@@ -95,6 +102,16 @@ type Driver struct {
 	windows        [][]uint32
 	flowsPublished bool
 
+	// Crash awareness (availability.go): down mirrors the cluster's
+	// crash state as of the last barrier; a down→up transition respawns
+	// the node's serving processes. spans is the barrier-refreshed copy
+	// of the cluster's crash events, read mid-window by servers to
+	// attribute sojourns to outages.
+	down     []bool
+	spans    []cluster.CrashEvent
+	respawns int
+	histDown [NumClasses]*telemetry.Histogram // sojourns of crash-span arrivals
+
 	work []*kernel.Proc // every non-receiver process
 }
 
@@ -111,8 +128,10 @@ func NewDriver(plan *Plan, cl *cluster.Cluster, opts DriverOptions) *Driver {
 	dr := &Driver{Plan: plan, cl: cl, opts: opts}
 	dr.published = make([]bool, plan.Cfg.Nodes)
 	dr.windows = make([][]uint32, plan.Cfg.Nodes)
+	dr.down = make([]bool, plan.Cfg.Nodes)
 	for c := 0; c < NumClasses; c++ {
 		dr.hist[c] = &telemetry.Histogram{}
+		dr.histDown[c] = &telemetry.Histogram{}
 		dr.mhist[c] = opts.Metrics.Histogram("loadgen_sojourn_cycles",
 			telemetry.L("class", Class(c).String()))
 	}
@@ -124,22 +143,31 @@ func NewDriver(plan *Plan, cl *cluster.Cluster, opts DriverOptions) *Driver {
 		dr.nodes = append(dr.nodes, ns)
 	}
 	for i := range dr.nodes {
-		node := i
-		k := cl.Nodes[node].Kernel
-		k.Spawn(fmt.Sprintf("recv%d", node), dr.receiverBody(node))
-		dr.work = append(dr.work,
-			k.Spawn(fmt.Sprintf("pacer%d", node), dr.pacerBody(node)))
-		for dst := 0; dst < plan.Cfg.Nodes; dst++ {
-			if dst == node {
-				continue
-			}
-			dr.work = append(dr.work,
-				k.Spawn(fmt.Sprintf("serve%d-%d", node, dst), dr.serverBody(node, dst)))
-		}
-		dr.work = append(dr.work,
-			k.Spawn(fmt.Sprintf("sample%d", node), dr.samplerBody(node)))
+		dr.spawnNode(i)
 	}
 	return dr
+}
+
+// spawnNode spawns one node's full serving complement: receiver, pacer,
+// per-destination servers, sampler. Called once per node at NewDriver
+// and again by PublishControl when a crashed node reboots — all the
+// node-local progress state (queues, nextArr, lastSeq) lives in
+// nodeState, so the respawned processes resume where the killed ones
+// stopped.
+func (dr *Driver) spawnNode(node int) {
+	k := dr.cl.Nodes[node].Kernel
+	k.Spawn(fmt.Sprintf("recv%d", node), dr.receiverBody(node))
+	dr.work = append(dr.work,
+		k.Spawn(fmt.Sprintf("pacer%d", node), dr.pacerBody(node)))
+	for dst := 0; dst < dr.Plan.Cfg.Nodes; dst++ {
+		if dst == node {
+			continue
+		}
+		dr.work = append(dr.work,
+			k.Spawn(fmt.Sprintf("serve%d-%d", node, dst), dr.serverBody(node, dst)))
+	}
+	dr.work = append(dr.work,
+		k.Spawn(fmt.Sprintf("sample%d", node), dr.samplerBody(node)))
 }
 
 // receiverBody pins this node's receive window and parks the frame
@@ -175,13 +203,22 @@ func (dr *Driver) pacerBody(node int) func(p *kernel.Proc) {
 	return func(p *kernel.Proc) {
 		ns := dr.nodes[node]
 		arrCtr := dr.opts.Metrics.Counter("loadgen_arrivals", telemetry.L("node", fmt.Sprint(node)))
-		for _, ar := range dr.Plan.Arrivals[node] {
+		schedule := dr.Plan.Arrivals[node]
+		// Resume from ns.nextArr: a respawned pacer (the node crashed and
+		// rebooted) walks the same schedule from where the kill hit it —
+		// an arrival past its instant enqueues immediately, modeling the
+		// clients that kept sending into the outage. The Sleep is the
+		// only kill point in the loop, so the enqueue block is atomic and
+		// no arrival is ever double-enqueued.
+		for ns.nextArr < len(schedule) {
+			ar := schedule[ns.nextArr]
 			if now := p.Now(); now < ar.At {
 				p.Sleep(ar.At - now)
 			}
 			fl := dr.Plan.Flows[ar.Flow]
 			q := &ns.queues[fl.Dst]
 			q.items = append(q.items, ar)
+			ns.nextArr++
 			ns.arrivals[fl.Class]++
 			ns.depthNow++
 			if ns.depthNow > ns.maxDepth {
@@ -221,6 +258,19 @@ func (dr *Driver) serverBody(node, dst int) func(p *kernel.Proc) {
 		pioBase := d.Base() + addr.VAddr(pioFirst*addr.PageSize)
 		entryBase := uint32(dst * cfg.WindowPages)
 
+		// A crash can kill this server mid-send, after the arrival was
+		// popped but before its outcome was recorded. Deferred cleanups
+		// run on the kill unwind, so the in-flight message is charged to
+		// the failed column — queued arrivals stay in the (host-memory)
+		// FIFO for the respawned server, but the one on the wire died
+		// with the node.
+		inflight := -1
+		defer func() {
+			if inflight >= 0 {
+				ns.failed[inflight]++
+			}
+		}()
+
 		q := &ns.queues[dst]
 		for {
 			if q.head == len(q.items) {
@@ -256,6 +306,7 @@ func (dr *Driver) serverBody(node, dst int) func(p *kernel.Proc) {
 				entry = uint32(ar.Flow)
 			}
 			size := dr.Plan.MsgSize(fl.Class)
+			inflight = int(fl.Class)
 			var serr error
 			switch fl.Class {
 			case ClassSmall:
@@ -265,6 +316,7 @@ func (dr *Driver) serverBody(node, dst int) func(p *kernel.Proc) {
 			default:
 				serr = d.SendRetry(buf, udmalib.WindowOff(entry, 0), size, dr.opts.Retry)
 			}
+			inflight = -1
 			now := p.Now()
 			switch {
 			case serr == nil:
@@ -272,6 +324,10 @@ func (dr *Driver) serverBody(node, dst int) func(p *kernel.Proc) {
 				ns.deliveredBytes[fl.Class] += uint64(size)
 				dr.hist[fl.Class].Observe(uint64(now - ar.At))
 				dr.mhist[fl.Class].Observe(uint64(now - ar.At))
+				if dr.inDown(ar.At) {
+					ns.downDelivered[fl.Class]++
+					dr.histDown[fl.Class].Observe(uint64(now - ar.At))
+				}
 				if now > ns.lastDone {
 					ns.lastDone = now
 				}
@@ -297,11 +353,16 @@ func (dr *Driver) samplerBody(node int) func(p *kernel.Proc) {
 		for {
 			p.Sleep(dr.Plan.Cfg.SampleEvery)
 			st := dr.cl.NICs[node].Stats()
+			done := 0
+			for c := 0; c < NumClasses; c++ {
+				done += ns.delivered[c]
+			}
 			ns.samples = append(ns.samples, Sample{
 				At:           p.Now(),
 				Depth:        ns.depthNow,
 				CreditStalls: st.CreditStalls,
 				Retransmits:  st.Retransmits,
+				Done:         done,
 			})
 			gauge.Set(int64(ns.depthNow))
 			if ns.pacerDone && ns.depthNow == 0 {
@@ -347,6 +408,11 @@ func (dr *Driver) PublishControl() {
 		dr.stopRecv = true
 		return
 	}
+	// Crash transitions first (availability.go): a node that went down
+	// retracts its publication so the respawned receiver's fresh export
+	// is republished; a node that came back up gets its serving
+	// processes respawned.
+	dr.syncCrashState()
 	allPublished := true
 	for r, ns := range dr.nodes {
 		if dr.published[r] {
@@ -360,6 +426,16 @@ func (dr *Driver) PublishControl() {
 			// Flow entries need every destination window at once; park
 			// the export until the last receiver reports in.
 			dr.windows[r] = ns.pendingPfns
+			if dr.flowsPublished {
+				// Post-reboot republication: the flow population was
+				// already installed once, so only the entries aimed at
+				// this node's (fresh) window need rewriting.
+				if err := dr.republishFlowEntries(r); err != nil {
+					dr.ctlErr = err
+					dr.stopRecv = true
+					return
+				}
+			}
 		} else {
 			base := uint32(r * dr.Plan.Cfg.WindowPages)
 			for s := range dr.nodes {
@@ -409,8 +485,15 @@ func (dr *Driver) publishFlowEntries() error {
 }
 
 // workDone reports whether every pacer, server and sampler has exited
-// (receivers excluded — they are what the answer stops).
+// (receivers excluded — they are what the answer stops). A node that is
+// currently down never counts as done: its killed processes have
+// exited, but the reboot will respawn them to finish the queued work.
 func (dr *Driver) workDone() bool {
+	for i := range dr.down {
+		if dr.down[i] {
+			return false
+		}
+	}
 	for _, p := range dr.work {
 		if !p.Exited() {
 			return false

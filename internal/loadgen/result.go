@@ -15,6 +15,7 @@ type Sample struct {
 	Depth        int    // messages queued on the node, all destinations
 	CreditStalls uint64 // NIC lifetime counter at sample time
 	Retransmits  uint64
+	Done         int // node's cumulative deliveries — the availability curve
 }
 
 // ClassSLO is the serving readout for one traffic class.
@@ -79,6 +80,23 @@ type Result struct {
 	Resurrections uint64
 	FlowDeaths    int
 
+	// Availability readout (all zero unless a cluster.CrashPlan fired).
+	Crashes           uint64
+	DowntimeCycles    sim.Cycles
+	RecoveryLagCycles sim.Cycles
+	Respawns          int // serving complements respawned after reboots
+	// CrashAbandonedBytes is the NICs' abandoned ledger (queued/unacked
+	// payload wiped at crash, never wire-final); CrashDroppedBytes sums
+	// the wire-carried payload the crashes swallowed (backplane drops
+	// into down nodes, wiped reseq buffers, invalidated receive DMAs).
+	CrashAbandonedBytes uint64
+	CrashDroppedBytes   uint64
+	// Dips is the per-crash availability signature (availability.go);
+	// DownClasses restricts the sojourn readout to messages that
+	// arrived during an outage — the MTTR tail.
+	Dips        []Dip
+	DownClasses [NumClasses]ClassSLO
+
 	// Samples[node] is each node's queue-depth time series.
 	Samples [][]Sample
 }
@@ -105,6 +123,9 @@ func (r *Result) Fingerprint() uint64 {
 	fmt.Fprintf(h, " nipt=%d/%d/%d/%d/%d rec=%d res=%d deaths=%d",
 		r.NIPTLookups, r.NIPTHits, r.NIPTMisses, r.NIPTEvictions, r.NIPTRefillCycles,
 		r.Reclaims, r.Resurrections, r.FlowDeaths)
+	fmt.Fprintf(h, " crash=%d dt=%d lag=%d resp=%d ab=%d cd=%d",
+		r.Crashes, r.DowntimeCycles, r.RecoveryLagCycles, r.Respawns,
+		r.CrashAbandonedBytes, r.CrashDroppedBytes)
 	for c := range r.Classes {
 		s := &r.Classes[c]
 		fmt.Fprintf(h, " c%d=%d/%d/%d/%d max=%d", c, s.Offered, s.Delivered, s.Failed, s.Bytes, s.MaxSojourn)
@@ -112,7 +133,7 @@ func (r *Result) Fingerprint() uint64 {
 	for node, series := range r.Samples {
 		fmt.Fprintf(h, " n%d:", node)
 		for _, sm := range series {
-			fmt.Fprintf(h, "(%d,%d,%d,%d)", sm.At, sm.Depth, sm.CreditStalls, sm.Retransmits)
+			fmt.Fprintf(h, "(%d,%d,%d,%d,%d)", sm.At, sm.Depth, sm.CreditStalls, sm.Retransmits, sm.Done)
 		}
 	}
 	return h.Sum64()
@@ -132,6 +153,15 @@ func (r *Result) WriteTable(w io.Writer, costs *sim.CostModel) {
 			r.FlowDeaths+r.Cfg.ActiveFlows, r.FlowDeaths,
 			r.NIPTLookups, r.NIPTMisses, r.NIPTEvictions, r.NIPTRefillCycles,
 			r.Reclaims, r.Resurrections)
+	}
+	if r.Crashes > 0 {
+		fmt.Fprintf(w, "chaos: %d crashes, %d cycles down, %d respawns; abandoned %d B, crash-dropped %d B\n",
+			r.Crashes, r.DowntimeCycles, r.Respawns,
+			r.CrashAbandonedBytes, r.CrashDroppedBytes)
+		for _, d := range r.Dips {
+			fmt.Fprintf(w, "  node %d down @%d for %d: dip depth %.2f, recovered @%d (width %d)\n",
+				d.Node, d.DownAt, d.UpAt-d.DownAt, d.Depth, d.RecoverAt, d.Width)
+		}
 	}
 	fmt.Fprintf(w, "%-16s %8s %10s %7s %10s %10s %10s\n",
 		"class", "offered", "delivered", "failed", "p50 "+unit, "p99 "+unit, "p999 "+unit)
@@ -190,8 +220,19 @@ func (dr *Driver) Finish() (*Result, error) {
 		r.NIPTRefillCycles += st.NIPTRefillCycles
 		r.Reclaims += st.SenderReclaims + st.ReceiverReclaims
 		r.Resurrections += st.Resurrections
+		r.CrashAbandonedBytes += st.CrashAbandonedBytes
+		r.CrashDroppedBytes += st.CrashDropBytes
+		for c := 0; c < NumClasses; c++ {
+			r.DownClasses[c].Delivered += ns.downDelivered[c]
+		}
 	}
 	r.FlowDeaths = dr.Plan.FlowDeaths
+	cs := dr.cl.CrashStats()
+	r.Crashes = cs.Crashes
+	r.DowntimeCycles = cs.DowntimeCycles
+	r.RecoveryLagCycles = cs.RecoveryLagCycles
+	r.Respawns = dr.respawns
+	r.CrashDroppedBytes += dr.cl.Backplane.FaultStats().CrashDroppedDataBytes
 	for c := 0; c < NumClasses; c++ {
 		s := &r.Classes[c]
 		s.Class = Class(c).String()
@@ -202,6 +243,14 @@ func (dr *Driver) Finish() (*Result, error) {
 		s.P999 = h.Quantile(0.999)
 		s.MeanSojourn = h.Mean()
 		s.MaxSojourn = h.Max()
+		ds := &r.DownClasses[c]
+		ds.Class = Class(c).String()
+		hd := dr.histDown[c]
+		ds.P50 = hd.Quantile(0.50)
+		ds.P99 = hd.Quantile(0.99)
+		ds.P999 = hd.Quantile(0.999)
+		ds.MeanSojourn = hd.Mean()
+		ds.MaxSojourn = hd.Max()
 	}
 	if lastDone > dr.Plan.Cfg.StartAt {
 		r.Elapsed = lastDone - dr.Plan.Cfg.StartAt
@@ -209,6 +258,8 @@ func (dr *Driver) Finish() (*Result, error) {
 	if r.Elapsed > 0 {
 		r.AchievedRate = float64(r.Delivered) * 1e6 / float64(r.Elapsed)
 	}
+	r.Dips = computeDips(dr.cl.CrashEvents(), r.Samples,
+		r.Delivered, r.Elapsed, dr.Plan.Cfg.SampleEvery)
 	return r, nil
 }
 

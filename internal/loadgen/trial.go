@@ -43,6 +43,21 @@ type TrialConfig struct {
 	// Metrics mirrors driver instruments into a registry (optional).
 	Metrics *telemetry.Registry
 
+	// RetxTimeout is the NIC's base retransmit timeout (default 100_000
+	// cycles — far above the saturated ACK RTT, so a clean wire never
+	// resends spuriously). Crash/MTTR experiments lower it so peers of a
+	// dead node reach the retry cap within the trial's span.
+	RetxTimeout sim.Cycles
+	// RelMaxRetries caps consecutive retransmit timeouts before a link
+	// is declared broken (0 = the NIC default, 8).
+	RelMaxRetries int
+
+	// Crash schedules whole-node crash–restart faults (chaos regime);
+	// see cluster.CrashPlan. The driver respawns a rebooted node's
+	// serving processes and folds the outage into the availability
+	// readout (Result.Crashes, Dips, DownClasses).
+	Crash cluster.CrashPlan
+
 	// NIPTCapacity bounds the on-board NIPT cache over the host-memory
 	// backing table (0 = unbounded, the pre-cache behavior). Misses pay
 	// a seeded refill on simulated time; NIPTRefillJitter widens the
@@ -64,6 +79,9 @@ func (tc TrialConfig) withDefaults() TrialConfig {
 	}
 	if tc.Limit == 0 {
 		tc.Limit = 2_000_000_000
+	}
+	if tc.RetxTimeout == 0 {
+		tc.RetxTimeout = 100_000
 	}
 	return tc
 }
@@ -88,17 +106,20 @@ func RunTrial(tc TrialConfig) (*Result, error) {
 			NIPTRefillJitter: tc.NIPTRefillJitter,
 			NIPTSeed:         tc.Seed,
 			// Reliable delivery is always armed: a serving system that
-			// silently loses messages has no meaningful SLO. The base
+			// silently loses messages has no meaningful SLO. The default
 			// retransmit timeout sits far above the saturated ACK RTT
 			// (multi-page bursts queue tens of thousands of cycles of
 			// wire time ahead of an ACK) so a clean wire never resends
 			// spuriously — loss recovery then shows up where a serving
 			// system feels it, in the sojourn tail.
 			Reliability: nic.ReliabilityConfig{
-				Enabled: true, RetxTimeout: 100_000,
+				Enabled:        true,
+				RetxTimeout:    tc.RetxTimeout,
+				MaxRetries:     tc.RelMaxRetries,
 				IdleReclaimAge: tc.IdleReclaimAge,
 			},
 		},
+		Crash:           tc.Crash,
 		Window:          tc.Window,
 		Workers:         tc.Workers,
 		FaultInject:     tc.FaultInject,

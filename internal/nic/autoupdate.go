@@ -94,8 +94,14 @@ func (n *Interface) FlushAutoUpdate() {
 	if delay := n.lookupNIPT(entry, false); delay > 0 {
 		// Bounded NIPT cache miss: the burst launches when the entry
 		// refill lands (the snooping front of the board is already free
-		// to start the next burst).
+		// to start the next burst). A crash before the refill lands
+		// makes the deferred launch stale — the combining buffer died
+		// with the board.
+		gen := n.gen
 		n.clock.ScheduleAfter(delay, "nipt-refill-launch", func() {
+			if n.gen != gen {
+				return
+			}
 			if err := n.launch(e, startOff, data); err != nil {
 				n.stats.AutoDrops++
 				return

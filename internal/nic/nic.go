@@ -77,6 +77,19 @@ type Stats struct {
 	SenderReclaims   uint64 // idle per-destination send state returned to the pool
 	ReceiverReclaims uint64 // idle per-source receive state returned to the pool
 	Resurrections    uint64 // reclaimed destinations re-established by new traffic
+
+	// Crash-restart counters (see crash.go). The abandoned ledger holds
+	// queued/unacked packets wiped by a crash that were never launched
+	// onto the wire in their final form (observability only); the
+	// dropped ledger holds wire-carried payload bytes the crash made
+	// undeliverable (reseq buffers wiped, arrivals while down, receive
+	// DMAs invalidated mid-flight) and balances the simcheck
+	// wire-conservation audit across the crash boundary.
+	Crashes             uint64
+	CrashAbandonedPkts  uint64 // pending+unacked packets wiped at crash
+	CrashAbandonedBytes uint64
+	CrashDropped        uint64 // wire-carried packets the crash swallowed
+	CrashDropBytes      uint64
 }
 
 // Interface is one node's SHRIMP network interface board.
@@ -104,6 +117,13 @@ type Interface struct {
 	auto     autoUpdateState
 
 	rel *reliability // nil = raw wire (the paper's reliable-backplane mode)
+
+	// Crash-restart state (crash.go). down marks the board powered off
+	// between Crash and Reboot; gen bumps at every crash so events the
+	// pre-crash board scheduled (receive-DMA completions, deferred NIPT
+	// refill launches) recognise themselves as stale and bail.
+	down bool
+	gen  uint64
 
 	tracer *trace.Tracer // nil = tracing off
 
@@ -381,6 +401,12 @@ func (n *Interface) Read(device.DevAddr, int, sim.Cycles) ([]byte, error) {
 }
 
 func (n *Interface) launch(e NIPTEntry, off uint32, data []byte) error {
+	if n.down {
+		// A crashed board launches nothing; the packet dies on the dead
+		// board before ever reaching the wire (no ledger entry needed —
+		// first-transmission counting never saw it).
+		return nil
+	}
 	// "The destination page number is concatenated with the offset to
 	// form the destination physical address."
 	destAddr := addr.PAddr(e.DestPFN<<addr.PageShift | off)
@@ -417,6 +443,16 @@ func (n *Interface) NodeClock() *sim.Clock { return n.clock }
 // feed the send half, data packets are CRC-checked, deduped and
 // resequenced, and only in-order clean data reaches the memory path.
 func (n *Interface) DeliverPacket(pkt *interconnect.Packet) {
+	if n.down {
+		// The board is powered off: anything already in flight toward it
+		// when the crash hit lands on a dead connector. Wire-carried data
+		// payloads go to the crash-drop ledger so byte conservation holds.
+		if pkt.Kind == interconnect.PktData {
+			n.stats.CrashDropped++
+			n.stats.CrashDropBytes += uint64(len(pkt.Payload))
+		}
+		return
+	}
 	if n.rel != nil {
 		if pkt.Kind == interconnect.PktAck {
 			n.handleAck(pkt)
@@ -446,7 +482,16 @@ func (n *Interface) deliverData(pkt *interconnect.Packet) {
 	_, end := n.iobus.ReserveBurst(arrive+n.costs.RecvDMAStartup, len(pkt.Payload))
 	dest := pkt.DestAddr
 	payload := pkt.Payload
+	gen := n.gen
 	n.clock.Schedule(end, "recv-dma-complete", func() {
+		if n.gen != gen {
+			// The board crashed between packet arrival and DMA
+			// completion: the data never reached memory. It was
+			// wire-carried, so it joins the crash-drop ledger.
+			n.stats.CrashDropped++
+			n.stats.CrashDropBytes += uint64(len(payload))
+			return
+		}
 		if err := n.ram.Write(dest, payload); err != nil {
 			n.stats.RecvDrops++
 			n.stats.RecvDropBytes += uint64(len(payload))
@@ -500,8 +545,15 @@ func (n *Interface) PIOStore(da device.DevAddr, v uint32) {
 		if delay := n.lookupNIPT(idx, false); delay > 0 {
 			// The board is fetching the entry from the host table;
 			// the launch fires when the refill lands — asynchronous
-			// to the CPU, which already moved on.
+			// to the CPU, which already moved on. If the board crashes
+			// before the refill lands, the deferred launch is stale
+			// (the FIFO contents died with the board) and must not fire
+			// into the rebooted incarnation.
+			gen := n.gen
 			n.clock.ScheduleAfter(delay, "nipt-refill-launch", func() {
+				if n.gen != gen {
+					return
+				}
 				n.launch(e, off, data)
 			})
 			return

@@ -83,6 +83,15 @@ type ScenarioConfig struct {
 	// keep their values.
 	NIPTCapacity   int
 	IdleReclaimAge sim.Cycles
+
+	// CrashMTBF > 0 arms the cluster's node crash–restart chaos plan
+	// (cluster.CrashPlan): whole nodes lose power at seeded instants and
+	// reboot after CrashMTTR, wiping all volatile board state and
+	// killing every kernel process. Seed-drawn last, after the
+	// reclamation draw, so every earlier field keeps its per-seed value.
+	CrashMTBF sim.Cycles
+	CrashMTTR sim.Cycles
+	CrashMax  int
 }
 
 // randomConfig draws a scenario shape from the master RNG. Ranges are
@@ -140,6 +149,13 @@ func randomConfig(rng *sim.RNG) ScenarioConfig {
 	if cfg.Lossy && rng.Intn(2) == 0 {
 		cfg.IdleReclaimAge = sim.Cycles(20_000 + rng.Intn(60_000))
 	}
+	// Crash-plan draws are the newest, so they come last of all (same
+	// append-only rule): a quarter of seeds get whole-node power loss.
+	if rng.Intn(4) == 0 {
+		cfg.CrashMTBF = sim.Cycles(150_000 + rng.Intn(250_000))
+		cfg.CrashMTTR = sim.Cycles(30_000 + rng.Intn(90_000))
+		cfg.CrashMax = 1 + rng.Intn(2)
+	}
 	return cfg
 }
 
@@ -158,6 +174,23 @@ func (cfg ScenarioConfig) faultPlan(seed uint64) interconnect.FaultPlan {
 		DelayRate:   cfg.DelayRate,
 		FlapPeriod:  cfg.FlapPeriod,
 		FlapDown:    cfg.FlapDown,
+	}
+}
+
+// crashPlan translates the scenario's chaos knobs into the cluster's
+// node crash–restart schedule. Like the wire's fault plan, the schedule
+// draws from its own decorrelated seed stream — and that stream is
+// private to the plan, so arming it never perturbs the simulation.
+func (cfg ScenarioConfig) crashPlan(seed uint64) cluster.CrashPlan {
+	if cfg.CrashMTBF == 0 {
+		return cluster.CrashPlan{}
+	}
+	return cluster.CrashPlan{
+		Seed:       seed ^ 0xC4A5_4ED0DE,
+		MTBF:       cfg.CrashMTBF,
+		MTTR:       cfg.CrashMTTR,
+		FirstAt:    30_000,
+		MaxCrashes: cfg.CrashMax,
 	}
 }
 
@@ -385,6 +418,7 @@ func buildScenario(seed uint64, opts Options) *scenario {
 				IdleReclaimAge: cfg.IdleReclaimAge,
 			},
 		},
+		Crash:           cfg.crashPlan(seed),
 		Window:          cfg.Window,
 		Workers:         opts.Workers,
 		FaultInject:     cfg.FaultInject,
@@ -525,6 +559,15 @@ func (s *scenario) finalVerify() {
 			rp.tainted[j] = true
 		}
 	}
+	if s.cl.CrashStats().Crashes > 0 {
+		// A node lost power mid-run: in-flight packets were swallowed,
+		// senders were killed mid-transfer and exported frames may have
+		// been recycled through the reboot — page contents are legally
+		// unpredictable everywhere.
+		for j := range rp.tainted {
+			rp.tainted[j] = true
+		}
+	}
 	ram := s.cl.Nodes[rp.recvNode].RAM
 	for j := 0; j < rp.pages; j++ {
 		if rp.tainted[j] || rp.expect[j] == nil {
@@ -568,7 +611,7 @@ func (s *scenario) serveVerify() {
 	if res.OrderViolations != 0 {
 		s.fail(0, "serve-order", fmt.Sprintf("%d per-flow FIFO violations", res.OrderViolations))
 	}
-	if !s.cfg.FaultInject && !s.cfg.Lossy && res.Failed != 0 {
+	if !s.cfg.FaultInject && !s.cfg.Lossy && s.cfg.CrashMTBF == 0 && res.Failed != 0 {
 		s.fail(0, "serve-accounting", fmt.Sprintf("%d failures on a clean machine", res.Failed))
 	}
 	if res.NIPTHits+res.NIPTMisses != res.NIPTLookups {
@@ -596,7 +639,7 @@ func (s *scenario) auditWire() {
 	}
 	_, wireBytes, _, wireRetransBytes := s.cl.Backplane.Stats()
 	fs := s.cl.Backplane.FaultStats()
-	var firstTx, retrans, recv, dup, corrupt, reseq, recvDrop, held uint64
+	var firstTx, retrans, recv, dup, corrupt, reseq, recvDrop, held, crashDrop uint64
 	for i := range s.cl.Nodes {
 		st := s.cl.NICs[i].Stats()
 		firstTx += st.BytesSent
@@ -607,6 +650,7 @@ func (s *scenario) auditWire() {
 		reseq += st.ReseqBytes
 		recvDrop += st.RecvDropBytes
 		held += s.cl.NICs[i].ReseqHeldBytes()
+		crashDrop += st.CrashDropBytes
 	}
 	if firstTx+retrans != wireBytes {
 		s.fail(0, "wire-conservation",
@@ -617,13 +661,20 @@ func (s *scenario) auditWire() {
 		s.fail(0, "wire-conservation",
 			fmt.Sprintf("NIC counted %d retrans bytes, backplane %d", retrans, wireRetransBytes))
 	}
+	// Crash terms: wire-carried bytes a node crash kept out of memory —
+	// swallowed at the backplane while the destination was down
+	// (fs.CrashDroppedDataBytes), or ledgered on the dead board itself
+	// (arrival at a down connector, wiped reseq buffers, receive DMAs
+	// invalidated by the generation bump).
 	launched := wireBytes + fs.DupDataBytes
-	accounted := fs.DroppedDataBytes + recv + dup + corrupt + reseq + recvDrop + held
+	accounted := fs.DroppedDataBytes + fs.CrashDroppedDataBytes +
+		recv + dup + corrupt + reseq + recvDrop + held + crashDrop
 	if launched != accounted {
 		s.fail(0, "wire-conservation",
-			fmt.Sprintf("launched %d data bytes (wire %d + fabric dups %d) but accounted %d (plan-dropped %d + delivered %d + dup-dropped %d + crc-dropped %d + reseq-dropped %d + addr-dropped %d + reseq-held %d)",
+			fmt.Sprintf("launched %d data bytes (wire %d + fabric dups %d) but accounted %d (plan-dropped %d + crash-wire-dropped %d + delivered %d + dup-dropped %d + crc-dropped %d + reseq-dropped %d + addr-dropped %d + reseq-held %d + crash-board-dropped %d)",
 				launched, wireBytes, fs.DupDataBytes, accounted,
-				fs.DroppedDataBytes, recv, dup, corrupt, reseq, recvDrop, held))
+				fs.DroppedDataBytes, fs.CrashDroppedDataBytes, recv, dup, corrupt,
+				reseq, recvDrop, held, crashDrop))
 	}
 }
 

@@ -219,6 +219,7 @@ func (s *scenario) fingerprint() uint64 {
 		fmt.Fprintf(h, " scratch=%d/%d", w, r)
 	}
 	p, by, rp, rb := s.cl.Backplane.Stats()
-	fmt.Fprintf(h, " net=%d/%d/%d/%d fault=%+v", p, by, rp, rb, s.cl.Backplane.FaultStats())
+	fmt.Fprintf(h, " net=%d/%d/%d/%d fault=%+v crash=%+v", p, by, rp, rb,
+		s.cl.Backplane.FaultStats(), s.cl.CrashStats())
 	return h.Sum64()
 }

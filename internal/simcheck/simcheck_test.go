@@ -308,12 +308,115 @@ func TestSimCheckChurnWorkerEquivalence(t *testing.T) {
 	}
 }
 
+// chaosOverride forces the node crash–restart plan onto any scenario:
+// multi-node (a lone node crashing proves nothing about its peers) with
+// an MTBF small enough that crashes reliably fire inside the run.
+func chaosOverride(cfg *ScenarioConfig) {
+	if cfg.Nodes < 2 {
+		cfg.Nodes = 2
+	}
+	cfg.CrashMTBF = 120_000
+	cfg.CrashMTTR = 50_000
+	cfg.CrashMax = 2
+}
+
+// TestSimCheckChaosSweep is the acceptance sweep for the crash–restart
+// fault model: every seed runs with whole-node power loss armed on top
+// of whatever machine regime it drew (fault injection, lossy wires,
+// kills), and the full auditor — invariants, refcounts, end-to-end byte
+// conservation including the crash ledgers — must stay silent. A subset
+// of seeds reruns to prove chaos outcomes reproduce exactly.
+func TestSimCheckChaosSweep(t *testing.T) {
+	seeds := 256
+	if testing.Short() {
+		seeds = 64
+	}
+	opts := Options{Override: chaosOverride}
+	for _, rep := range Sweep(1, seeds, runtime.GOMAXPROCS(0), opts) {
+		if rep.Failed() {
+			t.Fatalf("\n%s", rep.String())
+		}
+		if rep.Seed%32 == 0 {
+			again := Run(rep.Seed, opts)
+			if again.Fingerprint != rep.Fingerprint {
+				t.Fatalf("seed %d: chaos run not reproducible: %016x vs %016x",
+					rep.Seed, rep.Fingerprint, again.Fingerprint)
+			}
+		}
+	}
+}
+
+// TestSimCheckChaosWorkerEquivalence: crash and reboot are barrier
+// actions like every other cross-node control, so a chaos run must be
+// bit-exact between one worker and eight.
+func TestSimCheckChaosWorkerEquivalence(t *testing.T) {
+	seeds := uint64(12)
+	if testing.Short() {
+		seeds = 4
+	}
+	for seed := uint64(1); seed <= seeds; seed++ {
+		serial := Run(seed, Options{Override: chaosOverride})
+		if serial.Failed() {
+			t.Fatalf("seed %d failed serially:\n%s", seed, serial.String())
+		}
+		par := Run(seed, Options{Override: chaosOverride, Workers: 8})
+		if serial.Fingerprint != par.Fingerprint {
+			t.Fatalf("seed %d: workers=8 fingerprint %016x != workers=1 %016x",
+				seed, par.Fingerprint, serial.Fingerprint)
+		}
+		if len(serial.Violations) != len(par.Violations) {
+			t.Fatalf("seed %d: violation counts differ across workers: %d vs %d",
+				seed, len(serial.Violations), len(par.Violations))
+		}
+		if fmt.Sprint(serial.TraceSummaries) != fmt.Sprint(par.TraceSummaries) {
+			t.Fatalf("seed %d: trace summaries differ across workers:\n%v\nvs\n%v",
+				seed, serial.TraceSummaries, par.TraceSummaries)
+		}
+	}
+}
+
+// TestSimCheckChaosServeLossyWorkerEquivalence composes every regime at
+// once: open-loop serving over the hostile wire while nodes crash and
+// reboot mid-load — the respawn path, epoch resurrection and the crash
+// byte ledgers all active — serial vs eight workers, comparing
+// fingerprint, telemetry snapshot and trace summaries.
+func TestSimCheckChaosServeLossyWorkerEquivalence(t *testing.T) {
+	run := func(workers int) (*Report, string) {
+		reg := telemetry.New()
+		rep := Run(5, Options{
+			Override: func(cfg *ScenarioConfig) {
+				lossyOverride(cfg)
+				serveOverride(cfg)
+				chaosOverride(cfg)
+			},
+			Workers: workers,
+			Metrics: reg,
+		})
+		return rep, fmt.Sprintf("%+v", *reg.Snapshot())
+	}
+	serial, serialSnap := run(1)
+	if serial.Failed() {
+		t.Fatalf("chaos serve scenario failed serially:\n%s", serial.String())
+	}
+	par, parSnap := run(8)
+	if par.Fingerprint != serial.Fingerprint {
+		t.Fatalf("workers=8 fingerprint %016x != workers=1 %016x", par.Fingerprint, serial.Fingerprint)
+	}
+	if parSnap != serialSnap {
+		t.Fatalf("metric snapshots differ across workers:\n%s\nvs\n%s", parSnap, serialSnap)
+	}
+	if fmt.Sprint(par.TraceSummaries) != fmt.Sprint(serial.TraceSummaries) {
+		t.Fatalf("trace summaries differ across workers:\n%v\nvs\n%v",
+			par.TraceSummaries, serial.TraceSummaries)
+	}
+}
+
 // TestSimCheckCoversMechanisms checks the sweep actually exercises the
 // machinery the invariants guard: across the -short seed range the
 // scenarios must include multi-node clusters, queued controllers, fault
 // injection, cleaners and kills.
 func TestSimCheckCoversMechanisms(t *testing.T) {
-	var multi, queued, faulty, cleaner, kills, lossy, flappy, capped, reclaim bool
+	var multi, queued, faulty, cleaner, kills, lossy, flappy, capped, reclaim, chaos bool
 	for seed := uint64(1); seed <= 64; seed++ {
 		cfg := deriveConfig(seed)
 		multi = multi || cfg.Nodes > 1
@@ -325,11 +428,12 @@ func TestSimCheckCoversMechanisms(t *testing.T) {
 		flappy = flappy || cfg.FlapPeriod > 0
 		capped = capped || cfg.NIPTCapacity > 0
 		reclaim = reclaim || cfg.IdleReclaimAge > 0
+		chaos = chaos || cfg.CrashMTBF > 0
 	}
 	for name, ok := range map[string]bool{
 		"multi-node": multi, "queued": queued, "fault-inject": faulty,
 		"cleaner": cleaner, "kills": kills, "lossy-wire": lossy, "link-flap": flappy,
-		"bounded-nipt": capped, "idle-reclaim": reclaim,
+		"bounded-nipt": capped, "idle-reclaim": reclaim, "node-crash": chaos,
 	} {
 		if !ok {
 			t.Errorf("seed sweep never produced a %s scenario", name)
