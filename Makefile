@@ -2,7 +2,7 @@ GO ?= go
 GOFMT ?= gofmt
 FUZZTIME ?= 10s
 
-.PHONY: all build vet fmt test race check bench experiments faults lossy serve churn chaos fuzz simcheck cover profile
+.PHONY: all build vet fmt test race check bench experiments faults lossy serve mesh churn chaos fuzz simcheck cover profile
 
 all: check
 
@@ -56,6 +56,13 @@ lossy:
 # rerun plus a 4-worker run must reproduce the fingerprint).
 serve:
 	$(GO) run ./cmd/shrimpsim -scenario serve
+
+# mesh runs the routed-fabric incast scenario on the 64-node mesh:
+# throttled links vs ample links, hot-link occupancy, and the
+# bit-exactness proof (rerun plus a different worker count must
+# reproduce the fingerprint). Try -topology torus via shrimpsim directly.
+mesh:
+	$(GO) run ./cmd/shrimpsim -scenario incast -nodes 64 -topology mesh
 
 # churn runs the connection-churn trial: short-lived flows (one NIPT
 # entry each) against a bounded on-board NIPT cache, with idle

@@ -11,6 +11,8 @@
 //	shrimpsim -scenario faults      # injected faults, per-transfer recovery
 //	shrimpsim -scenario lossy       # lossy wire vs the reliable delivery protocol
 //	shrimpsim -scenario contention  # queued senders: latency under load
+//	shrimpsim -scenario incast      # routed-fabric incast: goodput vs link capacity
+//	shrimpsim -scenario incast -nodes 64 -topology torus
 //	shrimpsim -scenario serve       # open-loop load at a fixed offered rate
 //	shrimpsim -scenario serve -rate 1000 -nodes 4
 //	shrimpsim -scenario churn       # short-lived flows vs a bounded NIPT cache
@@ -47,6 +49,7 @@ import (
 	"shrimp/internal/cluster"
 	"shrimp/internal/device"
 	"shrimp/internal/experiments"
+	"shrimp/internal/interconnect"
 	"shrimp/internal/kernel"
 	"shrimp/internal/loadgen"
 	"shrimp/internal/machine"
@@ -70,6 +73,7 @@ var scenarioIndex = []struct{ name, desc string }{
 	{"faults", "injected device faults vs per-transfer recovery"},
 	{"lossy", "lossy wire vs the reliable delivery sublayer"},
 	{"contention", "queued senders: latency distributions under load"},
+	{"incast", "routed-fabric incast: goodput flattens at per-link capacity"},
 	{"serve", "open-loop load at a fixed offered rate, SLO readout"},
 	{"churn", "short-lived flows vs a bounded NIPT cache"},
 	{"chaos", "seeded node crash–restart schedule vs availability SLOs"},
@@ -78,7 +82,7 @@ var scenarioIndex = []struct{ name, desc string }{
 
 func main() {
 	var (
-		scenario   = flag.String("scenario", "send", "send | cluster | share | paging | autoupdate | faults | lossy | contention | serve | churn | chaos | fuzz")
+		scenario   = flag.String("scenario", "send", "send | cluster | share | paging | autoupdate | faults | lossy | contention | incast | serve | churn | chaos | fuzz")
 		list       = flag.Bool("list", false, "list the scenarios with one-line descriptions and exit")
 		nodes      = flag.Int("nodes", 4, "cluster scenario: node count")
 		size       = flag.Int("size", 4096, "message size in bytes")
@@ -86,6 +90,7 @@ func main() {
 		seed       = flag.Uint64("seed", experiments.FaultSeed, "faults/fuzz scenarios: RNG seed (fuzz: first seed)")
 		count      = flag.Int("count", 1, "fuzz scenario: number of consecutive seeds to run")
 		rate       = flag.Float64("rate", 300, "serve/churn scenarios: offered load in messages per million cycles")
+		topology   = flag.String("topology", "mesh", "incast scenario: routed fabric kind (mesh | torus)")
 		capacity   = flag.Int("capacity", 8, "churn scenario: NIPT cache capacity in entries (0 = unbounded)")
 		withTrace  = flag.Bool("trace", false, "send scenario: dump the hardware event trace")
 		metrics    = flag.Bool("metrics", false, "print a telemetry snapshot after the scenario")
@@ -157,6 +162,8 @@ func main() {
 		err = scenarioLossy(*seed)
 	case "contention":
 		err = scenarioContention(*senders, *size, o)
+	case "incast":
+		err = scenarioIncast(*nodes, *topology, *workers, o)
 	case "serve":
 		err = scenarioServe(*seed, *nodes, *rate, o)
 	case "churn":
@@ -562,6 +569,77 @@ func scenarioLossy(seed uint64) error {
 	if !res.Passed() {
 		return fmt.Errorf("lossy-wire checks failed")
 	}
+	return nil
+}
+
+// scenarioIncast drives every node but node 0 to dump page-sized
+// messages into node 0 across a routed fabric (-nodes, -topology),
+// twice: once with every link throttled well below the receiver's bus
+// rate — the fabric is the bottleneck and goodput flattens at the
+// capacity of the victim router's inbound links — and once with ample
+// links, where the receiver's bus is the bottleneck instead. The
+// limited run then repeats, same arguments at a different worker
+// count, and both fingerprints must reproduce bit-exactly: contention
+// is resolved in merge order at barriers, not host arrival order.
+func scenarioIncast(nodes int, topology string, workers int, o *obs) error {
+	kind, err := interconnect.ParseKind(topology)
+	if err != nil {
+		return err
+	}
+	if nodes < 2 {
+		nodes = 2
+	}
+	const messages = 6
+	o.setCosts(machine.SHRIMP1996())
+	fmt.Printf("# incast on a routed %d-node %s: %d senders × %d × 4096 B into node 0\n",
+		nodes, kind, nodes-1, messages)
+
+	limited, err := experiments.RunIncast(nodes, kind, experiments.ScaleLimitedBPC, messages, workers, o.registry())
+	if err != nil {
+		return err
+	}
+	ample, err := experiments.RunIncast(nodes, kind, 0, messages, workers, nil)
+	if err != nil {
+		return err
+	}
+	row := func(name string, r *experiments.IncastRun, bpc float64) {
+		cap := "host rate"
+		if bpc > 0 {
+			cap = fmt.Sprintf("%.2f B/cyc", bpc)
+		}
+		fmt.Printf("%-8s links at %-10s goodput %.3f B/cyc, hot link %3.0f%% busy, queue wait %.2f Mcyc, peak queue %d, %d links used\n",
+			name, cap, r.GoodputBPC, 100*r.HotFrac, float64(r.WaitCycles)/1e6, r.PeakQueue, r.LinksUsed)
+	}
+	row("limited", limited, experiments.ScaleLimitedBPC)
+	row("ample", ample, 0)
+	if limited.GoodputBPC < ample.GoodputBPC {
+		fmt.Println("the throttled fabric is the bottleneck: extra offered load becomes link queueing, not goodput")
+	}
+
+	// Same arguments, different worker count: the routed fabric must be
+	// a pure function of the workload, not of host scheduling.
+	otherWorkers := 4
+	if workers == otherWorkers {
+		otherWorkers = 1
+	}
+	again, err := experiments.RunIncast(nodes, kind, experiments.ScaleLimitedBPC, messages, workers, nil)
+	if err != nil {
+		return err
+	}
+	if limited.Fingerprint != again.Fingerprint {
+		return fmt.Errorf("same arguments produced different runs: %s vs %s",
+			limited.Fingerprint, again.Fingerprint)
+	}
+	wide, err := experiments.RunIncast(nodes, kind, experiments.ScaleLimitedBPC, messages, otherWorkers, nil)
+	if err != nil {
+		return err
+	}
+	if limited.Fingerprint != wide.Fingerprint {
+		return fmt.Errorf("workers %d and %d diverge: %s vs %s",
+			workers, otherWorkers, limited.Fingerprint, wide.Fingerprint)
+	}
+	fmt.Printf("\nfingerprint %s reproduced exactly: rerun and a %d-worker run\n",
+		limited.Fingerprint, otherWorkers)
 	return nil
 }
 

@@ -83,6 +83,7 @@ var registry = map[string]struct {
 	"e15": {"Extension: open-loop serving — offered-rate sweep and SLO readout", RunServe},
 	"e16": {"Extension: connection churn — goodput and tails vs NIPT cache capacity", RunChurn},
 	"e17": {"Extension: crash–restart chaos — availability dips and time-to-recover", RunChaos},
+	"e18": {"Extension: routed fabric at scale — 64-node mesh/torus link contention", RunScaleOut},
 }
 
 // sweepWorkers is how many host goroutines the rate/seed sweeps inside

@@ -40,10 +40,10 @@ func TestAllExperimentsPass(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 17 {
-		t.Fatalf("registry has %d experiments, want 17: %v", len(ids), ids)
+	if len(ids) != 18 {
+		t.Fatalf("registry has %d experiments, want 18: %v", len(ids), ids)
 	}
-	if ids[0] != "e1" || ids[len(ids)-1] != "e17" {
+	if ids[0] != "e1" || ids[len(ids)-1] != "e18" {
 		t.Fatalf("ids out of order: %v", ids)
 	}
 	for _, id := range ids {

@@ -1,12 +1,19 @@
 // Package interconnect models the Intel Paragon routing backplane that
-// connects SHRIMP nodes: a 2D mesh with per-hop routing latency,
-// per-link bandwidth, and in-order delivery between any pair of nodes.
+// connects SHRIMP nodes: a routed 2D mesh or torus of directed links,
+// each with its own bandwidth (a busy-until reservation, like the
+// per-sender inject FIFO) and FIFO contention queue, with
+// deterministic dimension-order (XY) routing and in-order delivery
+// between any pair of nodes. The fabric shape is a Topology fixed at
+// construction (see topology.go); Attach never reshapes it.
 //
 // Each node simulates on its own clock (see DESIGN.md §6 and
 // internal/cluster): a packet launched at sender-time T arrives at the
-// receiver at max(receiver-now, T + flight time). Injection is
-// serialized per sender — one outgoing FIFO drains into the network at
-// link speed — which is what bounds back-to-back page sends.
+// receiver at max(receiver-now, T + zero-load flight + contention).
+// Injection is serialized per sender — one outgoing FIFO drains into
+// the network at the host-interface link speed — which is what bounds
+// back-to-back page sends; the routed links the packet then walks each
+// charge their own occupancy, which is what makes two senders into one
+// receiver slow each other down (see DESIGN.md §15).
 //
 // The backplane has two delivery modes. In immediate mode (the default,
 // used by single-threaded rigs and the nic package's tests) Send
@@ -25,7 +32,6 @@ package interconnect
 
 import (
 	"fmt"
-	"math"
 	"sort"
 
 	"shrimp/internal/addr"
@@ -142,14 +148,17 @@ func (ob *outbox) park(pkt *Packet, at sim.Cycles) {
 	ob.mail = mail
 }
 
-// Backplane is the mesh. Attach every endpoint before sending.
+// Backplane is the routed fabric. The topology (shape, node count,
+// width, link capacity) is fixed at construction; attach every declared
+// endpoint before sending — an early Send is a wiring panic.
 type Backplane struct {
 	costs *sim.CostModel
+	topo  Topology   // normalized: width resolved
+	links []link     // directed fabric links, indexed router*4+direction
 	eps   []Endpoint // indexed by node id; nil when unattached
 	out   []*outbox  // per-sender shard, created at Attach; same indexing
 	ids   []int      // attached node ids, sorted: deterministic iteration
 	n     int        // attached endpoint count
-	width int        // mesh width for hop counting; recomputed on Attach
 
 	deferred bool
 
@@ -166,17 +175,31 @@ type Backplane struct {
 	schedFn func(*mailEntry) // prebuilt Flush callback, so Flush allocates nothing
 }
 
-// New returns an empty backplane using the given cost model for link
-// timing.
-func New(costs *sim.CostModel) *Backplane {
+// New returns an empty backplane over the declared topology, using the
+// given cost model for link timing. The topology is final: the router
+// grid, hop distances and link capacities never change as endpoints
+// attach.
+func New(costs *sim.CostModel, topo Topology) *Backplane {
 	if costs == nil {
 		panic("interconnect: New requires a cost model")
 	}
+	topo = topo.normalized()
 	b := &Backplane{
 		costs:   costs,
+		topo:    topo,
+		links:   make([]link, topo.Routers()*4),
+		eps:     make([]Endpoint, topo.Nodes),
+		out:     make([]*outbox, topo.Nodes),
+		down:    make([]bool, topo.Nodes),
 		tracers: make(map[int]*trace.Tracer),
 	}
-	b.schedFn = func(e *mailEntry) { b.schedule(b.eps[e.pkt.Dst], e.pkt, e.at) }
+	// The Flush visit callback charges link contention in merged order
+	// — the (arrive, src, seq) merge is the one deterministic total
+	// order over a window's traffic, so occupancy is a pure function of
+	// what was sent, independent of worker count.
+	b.schedFn = func(e *mailEntry) {
+		b.schedule(b.eps[e.pkt.Dst], e.pkt, b.chargeArrival(e.pkt, e.at))
+	}
 	return b
 }
 
@@ -247,16 +270,16 @@ func (b *Backplane) FaultStats() FaultStats {
 	return fs
 }
 
-// Attach registers an endpoint. Attaching two endpoints with the same
-// node ID is a wiring bug.
+// Attach registers an endpoint at its declared router. Attaching two
+// endpoints with the same node ID, or an ID outside the declared
+// topology, is a wiring bug. (Attach used to recompute the mesh width
+// as ceil(sqrt(n)) on every call, silently reshaping hop distances as
+// endpoints joined; the grid is now fixed by the Topology at New.)
 func (b *Backplane) Attach(ep Endpoint) {
 	id := ep.NodeID()
-	if id < 0 {
-		panic(fmt.Sprintf("interconnect: negative node id %d", id))
-	}
-	for id >= len(b.eps) {
-		b.eps = append(b.eps, nil)
-		b.out = append(b.out, nil)
+	if id < 0 || id >= b.topo.Nodes {
+		panic(fmt.Sprintf("interconnect: node id %d outside declared %d-node %s",
+			id, b.topo.Nodes, b.topo.Kind))
 	}
 	if b.eps[id] != nil {
 		panic(fmt.Sprintf("interconnect: duplicate endpoint for node %d", id))
@@ -266,42 +289,38 @@ func (b *Backplane) Attach(ep Endpoint) {
 	b.ids = append(b.ids, id)
 	sort.Ints(b.ids)
 	b.n++
-	b.width = int(math.Ceil(math.Sqrt(float64(b.n))))
-	if b.width < 1 {
-		b.width = 1
-	}
 }
 
-// Hops returns the mesh (Manhattan) distance between two nodes.
+// Hops returns the routed path length between two nodes: the number of
+// directed links a packet crosses under XY dimension-order routing
+// (torus routes take the shorter ring direction per dimension).
 func (b *Backplane) Hops(src, dst int) sim.Cycles {
 	if src == dst {
 		return 1 // through the local router
 	}
-	sx, sy := src%b.width, src/b.width
-	dx, dy := dst%b.width, dst/b.width
-	manhattan := abs(sx-dx) + abs(sy-dy)
-	return sim.Cycles(manhattan)
+	return sim.Cycles(b.topo.PathLen(src, dst))
 }
 
 // Lookahead returns the minimum cross-node flight time under the cost
-// model: one hop of routing latency plus the wire time of an empty
+// model: one link of routing latency plus the wire time of an empty
 // packet. No packet launched in a window can arrive at another node
 // earlier than this after its launch — the bound that makes the
 // cluster's conservative windowed parallelism safe (see DESIGN.md §11).
 func (b *Backplane) Lookahead() sim.Cycles {
-	return b.costs.LinkLatency + b.costs.LinkCycles(0)
+	return b.costs.LinkLatency + b.fabricCycles(0)
 }
 
-// LinkLookahead is the per-directed-link conservative bound: the
-// minimum flight time of any packet from src to dst (mesh distance
-// times per-hop routing latency, plus the wire time of an empty
-// packet). A packet launched by src at its current clock can never be
+// LinkLookahead is the per-directed-(src,dst) conservative bound: the
+// zero-load flight time of an empty packet along the routed XY path
+// (path length times per-link routing latency, plus empty-packet wire
+// time). Contention only ever pushes arrivals later than zero-load, so
+// a packet launched by src at its current clock can never be
 // timestamped for dst earlier than src's clock plus this — the
 // Chandy–Misra-style per-sender guarantee the cluster uses to extend a
 // receiver's window past the global horizon without ever clamping an
-// arrival (see DESIGN.md §11).
+// arrival (see DESIGN.md §11, §15).
 func (b *Backplane) LinkLookahead(src, dst int) sim.Cycles {
-	return b.Hops(src, dst)*b.costs.LinkLatency + b.costs.LinkCycles(0)
+	return b.Hops(src, dst)*b.costs.LinkLatency + b.fabricCycles(0)
 }
 
 // Send launches a packet from its source endpoint. It serializes with
@@ -315,6 +334,10 @@ func (b *Backplane) LinkLookahead(src, dst int) sim.Cycles {
 // the next Flush; everything Send itself touches lives in the sender's
 // shard, so concurrent sends from different nodes never share state.
 func (b *Backplane) Send(pkt *Packet) sim.Cycles {
+	if b.n != b.topo.Nodes {
+		panic(fmt.Sprintf("interconnect: send with %d of %d declared nodes attached",
+			b.n, b.topo.Nodes))
+	}
 	src := b.ep(pkt.Src)
 	if src == nil {
 		panic(fmt.Sprintf("interconnect: send from unattached node %d", pkt.Src))
@@ -330,11 +353,14 @@ func (b *Backplane) Send(pkt *Packet) sim.Cycles {
 	if ob.injectFree > start {
 		start = ob.injectFree
 	}
+	// The inject FIFO drains at the host-interface rate; the routed
+	// fabric links the packet then walks may be slower (or faster) per
+	// the topology's capacity.
 	wire := b.costs.LinkCycles(len(pkt.Payload))
 	ob.injectFree = start + wire
 
-	flight := b.Hops(pkt.Src, pkt.Dst)*b.costs.LinkLatency + wire
-	arriveSender := start + flight // in sender time
+	flight := b.zeroLoadFlight(pkt.Src, pkt.Dst, len(pkt.Payload))
+	arriveSender := start + flight // in sender time, before contention
 
 	pkt.LaunchedAt = start
 	ob.packets++
@@ -411,12 +437,17 @@ func (b *Backplane) Send(pkt *Packet) sim.Cycles {
 // into the sender's mailbox when deferred. Loopback (src == dst) is
 // always immediate — the "receiver" clock is the sender's own, so the
 // schedule is race-free and identical at every worker count.
+//
+// Deferred mail parks at the zero-load arrival; contention is charged
+// later, in Flush's merged order. Immediate mode (single-threaded by
+// contract) charges contention right here, in Send order — the same
+// total order a one-node-at-a-time rig would merge to.
 func (b *Backplane) deliver(ob *outbox, dst Endpoint, pkt *Packet, arriveSender sim.Cycles) {
 	if b.deferred && pkt.Src != pkt.Dst {
 		ob.park(pkt, arriveSender)
 		return
 	}
-	b.schedule(dst, pkt, arriveSender)
+	b.schedule(dst, pkt, b.chargeArrival(pkt, arriveSender))
 }
 
 // schedule puts a packet arrival on the receiver's clock: never before
@@ -435,11 +466,13 @@ func (b *Backplane) schedule(dst Endpoint, pkt *Packet, arriveSender sim.Cycles)
 }
 
 // Flush drains every outbox mailbox onto the receiver clocks. Entries
-// are merged in (arrival time, sender, per-sender sequence) order, so
-// the schedule — including same-cycle tie-breaks on a receiver's event
-// queue — is a pure function of what was sent, independent of both the
-// flush caller and how many worker goroutines ran the windows that
-// produced the mail. Call only at a barrier: no node may be mid-window.
+// are merged in (arrival time, sender, per-sender sequence) order, and
+// the visit callback charges each packet's routed-link occupancy in
+// exactly that order, so the schedule — contention delays included,
+// down to same-cycle tie-breaks on a receiver's event queue — is a
+// pure function of what was sent, independent of both the flush caller
+// and how many worker goroutines ran the windows that produced the
+// mail. Call only at a barrier: no node may be mid-window.
 func (b *Backplane) Flush() { b.mergeMail(b.schedFn) }
 
 // mergeMail visits every parked delivery in (arrival, sender, sequence)
@@ -508,10 +541,3 @@ func (b *Backplane) Stats() (packets, bytes, retransPackets, retransBytes uint64
 
 // Nodes returns the number of attached endpoints.
 func (b *Backplane) Nodes() int { return b.n }
-
-func abs(x int) int {
-	if x < 0 {
-		return -x
-	}
-	return x
-}

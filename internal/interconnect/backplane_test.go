@@ -24,7 +24,7 @@ func costs() *sim.CostModel {
 }
 
 func rig(n int) (*Backplane, []*fakeEP) {
-	b := New(costs())
+	b := New(costs(), Mesh(n))
 	eps := make([]*fakeEP, n)
 	for i := range eps {
 		eps[i] = &fakeEP{id: i, clock: sim.NewClock()}

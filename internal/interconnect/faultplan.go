@@ -34,11 +34,13 @@ type FaultPlan struct {
 	// packets (default 2000 cycles when a rate needs it).
 	DelayMax sim.Cycles
 
-	// FlapPeriod/FlapDown model per-link outages: each directed link is
-	// down for FlapDown cycles out of every FlapPeriod, at a phase
-	// derived from Seed and the link, so links do not flap in lockstep.
-	// Packets launched into a down window are dropped. Zero disables
-	// flapping.
+	// FlapPeriod/FlapDown model per-link outages: each directed
+	// *physical* fabric link (a router-to-router channel, not a
+	// src/dst pair) is down for FlapDown cycles out of every
+	// FlapPeriod, at a phase derived from Seed and the link, so links
+	// do not flap in lockstep. A packet launched while any link on its
+	// routed path is down is dropped — a multi-hop route is only as
+	// available as its worst link. Zero disables flapping.
 	FlapPeriod sim.Cycles
 	FlapDown   sim.Cycles
 }
@@ -96,13 +98,13 @@ func (s *FaultStats) add(o FaultStats) {
 	s.CrashDroppedDataBytes += o.CrashDroppedDataBytes
 }
 
-// linkFault is the per-directed-link fault state: one RNG stream and a
-// flap phase, both pure functions of (plan seed, src, dst). It lives in
-// the *sender's* outbox shard (keyed by destination), so concurrent
-// windows on different nodes never share an RNG.
+// linkFault is the per-(src,dst) fault state: one RNG stream, a pure
+// function of (plan seed, src, dst). It lives in the *sender's* outbox
+// shard (keyed by destination), so concurrent windows on different
+// nodes never share an RNG. Flap phases are not stored here — they are
+// per *physical* link and computed statelessly (see flapPhase).
 type linkFault struct {
-	rng   *sim.RNG
-	phase sim.Cycles
+	rng *sim.RNG
 }
 
 // linkSeed decorrelates the per-link streams: same plan seed, different
@@ -112,33 +114,41 @@ func linkSeed(seed uint64, src, dst int) uint64 {
 }
 
 // link returns (creating if needed) the sender-side fault state for the
-// directed link src→dst. The lazy creation touches only this outbox.
+// pair src→dst. The lazy creation touches only this outbox.
 func (ob *outbox) link(plan FaultPlan, src, dst int) *linkFault {
 	if lf, ok := ob.links[dst]; ok {
 		return lf
 	}
-	s := linkSeed(plan.Seed, src, dst)
-	lf := &linkFault{rng: sim.NewRNG(s)}
-	if plan.FlapPeriod > 0 {
-		lf.phase = sim.Cycles(s>>17) % plan.FlapPeriod
-	}
+	lf := &linkFault{rng: sim.NewRNG(linkSeed(plan.Seed, src, dst))}
 	ob.links[dst] = lf
 	return lf
 }
 
-// LinkDown reports whether the directed link src→dst is inside a flap
-// outage at the given (sender-clock) time. Callers must only ask about
-// links whose source is attached (Send's precondition anyway).
+// flapPhase is the outage phase of the physical directed link a→b: a
+// pure function of the plan seed and the router pair, with no RNG
+// state, so asking about a link (from any route that crosses it) never
+// perturbs the per-pair draw streams.
+func (p FaultPlan) flapPhase(a, b int) sim.Cycles {
+	return sim.Cycles(linkSeed(p.Seed, a, b)>>17) % p.FlapPeriod
+}
+
+// LinkDown reports whether the routed path src→dst is cut by a flap
+// outage at the given (sender-clock) time: a multi-hop route is down
+// whenever any physical link along its XY path is inside a down
+// window. For adjacent nodes this is exactly the single link's window;
+// loopback never leaves the local router and is never down.
 func (b *Backplane) LinkDown(src, dst int, at sim.Cycles) bool {
-	if b.plan.FlapPeriod == 0 || b.plan.FlapDown == 0 {
+	if b.plan.FlapPeriod == 0 || b.plan.FlapDown == 0 || src == dst {
 		return false
 	}
-	ob := b.out[src]
-	if ob == nil {
-		return false
+	for cur := src; cur != dst; {
+		next := b.topo.NextHop(cur, dst)
+		if (at+b.plan.flapPhase(cur, next))%b.plan.FlapPeriod < b.plan.FlapDown {
+			return true
+		}
+		cur = next
 	}
-	lf := ob.link(b.plan, src, dst)
-	return (at+lf.phase)%b.plan.FlapPeriod < b.plan.FlapDown
+	return false
 }
 
 // wireOutcome is what the fault plan decided for one launched packet.

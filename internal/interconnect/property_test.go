@@ -18,7 +18,7 @@ func TestInOrderDeliveryProperty(t *testing.T) {
 		if len(sizes) > 32 {
 			sizes = sizes[:32]
 		}
-		b := New(costs())
+		b := New(costs(), Mesh(2))
 		src := &fakeEP{id: 0, clock: sim.NewClock()}
 		dst := &fakeEP{id: 1, clock: sim.NewClock()}
 		b.Attach(src)
@@ -59,7 +59,7 @@ func TestByteAccountingProperty(t *testing.T) {
 		if len(routes) > 64 {
 			routes = routes[:64]
 		}
-		b := New(costs())
+		b := New(costs(), Mesh(4))
 		eps := make([]*fakeEP, 4)
 		for i := range eps {
 			eps[i] = &fakeEP{id: i, clock: sim.NewClock()}

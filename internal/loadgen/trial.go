@@ -38,6 +38,11 @@ type TrialConfig struct {
 	FaultRejectRate float64
 	FaultFailRate   float64
 
+	// Topology declares the routed fabric (mesh/torus, width, per-link
+	// capacity); the zero value is the near-square mesh at the
+	// host-interface rate. See interconnect.Topology.
+	Topology interconnect.Topology
+
 	// Retry overrides the server send retry policy.
 	Retry udmalib.RetryPolicy
 	// Metrics mirrors driver instruments into a registry (optional).
@@ -94,7 +99,8 @@ func RunTrial(tc TrialConfig) (*Result, error) {
 	tc = tc.withDefaults()
 	plan := BuildPlan(tc.Config)
 	cl := cluster.New(cluster.Config{
-		Nodes: tc.Nodes,
+		Nodes:    tc.Nodes,
+		Topology: tc.Topology,
 		Machine: machine.Config{
 			RAMFrames: tc.RAMFrames,
 			Kernel:    kernel.Config{Quantum: 2000},

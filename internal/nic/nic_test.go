@@ -23,7 +23,7 @@ type pair struct {
 func newPair(t *testing.T, cfg Config) *pair {
 	t.Helper()
 	costs := machine.SHRIMP1996()
-	p := &pair{net: interconnect.New(costs)}
+	p := &pair{net: interconnect.New(costs, interconnect.Mesh(2))}
 	for i := 0; i < 2; i++ {
 		p.clocks[i] = sim.NewClock()
 		p.rams[i] = mem.NewPhysical(64)

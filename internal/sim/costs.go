@@ -105,6 +105,20 @@ func (m *CostModel) LinkCycles(n int) Cycles {
 	return Cycles(float64(n)/m.LinkBytesPerCyc + 0.999999)
 }
 
+// LinkCyclesAt returns the wire time for n bytes on a link running at
+// bytesPerCyc instead of the model's host-interface rate. Fabric
+// topologies use this to give routed links their own capacity while
+// the inject FIFO keeps draining at LinkBytesPerCyc.
+func (m *CostModel) LinkCyclesAt(n int, bytesPerCyc float64) Cycles {
+	if n <= 0 {
+		return 0
+	}
+	if bytesPerCyc <= 0 {
+		bytesPerCyc = m.LinkBytesPerCyc
+	}
+	return Cycles(float64(n)/bytesPerCyc + 0.999999)
+}
+
 // DMABandwidth returns the raw burst bandwidth in bytes/second.
 func (m *CostModel) DMABandwidth() float64 {
 	return m.DMABytesPerCyc * m.CPUHz

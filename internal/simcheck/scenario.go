@@ -92,6 +92,15 @@ type ScenarioConfig struct {
 	CrashMTBF sim.Cycles
 	CrashMTTR sim.Cycles
 	CrashMax  int
+
+	// Routed-fabric draws (newest of all, after the crash block, same
+	// append-only rule): Torus closes the router grid's rows and
+	// columns into rings, and LinkBytesPerCyc throttles every fabric
+	// link below the host-interface rate so barrier-time contention
+	// resolution gets exercised (0 = links at the host-interface rate,
+	// the historical fabric).
+	Torus           bool
+	LinkBytesPerCyc float64
 }
 
 // randomConfig draws a scenario shape from the master RNG. Ranges are
@@ -156,7 +165,26 @@ func randomConfig(rng *sim.RNG) ScenarioConfig {
 		cfg.CrashMTTR = sim.Cycles(30_000 + rng.Intn(90_000))
 		cfg.CrashMax = 1 + rng.Intn(2)
 	}
+	// Routed-fabric draws come after the crash block (append-only rule
+	// again): a third of seeds wrap the mesh into a torus, and a third
+	// throttle the fabric links below the host-interface rate so link
+	// contention actually bites.
+	cfg.Torus = rng.Intn(3) == 0
+	if rng.Intn(3) == 0 {
+		cfg.LinkBytesPerCyc = 0.3 + 0.6*rng.Float64()
+	}
 	return cfg
+}
+
+// topology translates the scenario's fabric draws into the cluster's
+// topology declaration.
+func (cfg ScenarioConfig) topology() interconnect.Topology {
+	topo := interconnect.Mesh(cfg.Nodes)
+	if cfg.Torus {
+		topo = interconnect.Torus(cfg.Nodes)
+	}
+	topo.LinkBytesPerCyc = cfg.LinkBytesPerCyc
+	return topo
 }
 
 // faultPlan translates the scenario's lossy knobs into the backplane's
@@ -398,7 +426,8 @@ func buildScenario(seed uint64, opts Options) *scenario {
 	s := &scenario{seed: seed, cfg: cfg, opts: opts, step: -1}
 
 	s.cl = cluster.New(cluster.Config{
-		Nodes: cfg.Nodes,
+		Nodes:    cfg.Nodes,
+		Topology: cfg.topology(),
 		Machine: machine.Config{
 			RAMFrames: cfg.RAMFrames,
 			UDMA: core.Config{
